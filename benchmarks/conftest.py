@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Every ``test_bench_fig*.py`` regenerates one figure of the paper's
+evaluation section (full profile) and prints the series the paper plots;
+``test_bench_micro.py`` times the core operations.  Figure benches run a
+single round — they are dataset-scale experiments, not microbenchmarks.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

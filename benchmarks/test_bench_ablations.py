@@ -1,0 +1,68 @@
+"""Ablation benches: signalling designs, switching knobs, link loss,
+optimality gap, and energy hotspots (full profiles)."""
+
+from repro.experiments import (
+    ablation_loss,
+    ablation_signalling,
+    ablation_switching,
+    energy_hotspots,
+    optimality_gap,
+)
+
+
+def test_ablation_signalling(run_once):
+    table = run_once(ablation_signalling.run)
+    print()
+    table.print()
+    for row in table.rows:
+        # §5: unordered is much faster but never better in quality.
+        assert row["unordered_time"] < row["implicit_time"]
+        assert row["unordered_clusters"] >= row["implicit_clusters"]
+
+
+def test_ablation_switching(run_once):
+    table = run_once(ablation_switching.run)
+    print()
+    table.print()
+    zero_budget = [row for row in table.rows if row["c"] == 0]
+    assert all(row["switches"] == 0 for row in zero_budget)
+
+
+def test_ablation_loss(run_once):
+    table = run_once(ablation_loss.run)
+    print()
+    table.print()
+    for row in table.rows:
+        assert row["valid"]
+        assert abs(row["inflation"] - row["expected_inflation"]) < 0.25
+
+
+def test_optimality_gap(run_once):
+    table = run_once(optimality_gap.run)
+    print()
+    table.print()
+    for row in table.rows:
+        for heuristic in ("elink", "hierarchical", "spanning_forest"):
+            assert row[heuristic] >= row["optimal"] - 1e-9
+
+
+def test_energy_hotspots(run_once):
+    table = run_once(energy_hotspots.run)
+    print()
+    table.print()
+    by_scheme = {row["scheme"]: row for row in table.rows}
+    assert by_scheme["centralized"]["total_mj"] > by_scheme["elink"]["total_mj"]
+    assert by_scheme["centralized"]["imbalance"] > by_scheme["elink"]["imbalance"]
+
+
+def test_ablation_asynchrony(run_once):
+    from repro.experiments import ablation_asynchrony
+
+    table = run_once(ablation_asynchrony.run)
+    print()
+    table.print()
+    # Validity is jitter-independent for both modes.
+    assert all(row["both_valid"] for row in table.rows)
+    # Explicit quality stays within a small band across the whole sweep.
+    explicit = table.column("explicit_clusters")
+    assert max(explicit) - min(explicit) <= 0.25 * max(explicit)

@@ -1,0 +1,15 @@
+"""Theorems 2–3 — empirical message/time complexity of ELink."""
+
+from repro.experiments import complexity
+
+
+def test_complexity_bounds(run_once):
+    table = run_once(complexity.run)
+    print()
+    table.print()
+    for series in ("implicit_msgs_per_node", "explicit_msgs_per_node"):
+        values = table.column(series)
+        assert max(values) / min(values) < 2.0, f"{series} must stay O(1) per node"
+    for series in ("implicit_time_norm", "explicit_time_norm"):
+        values = table.column(series)
+        assert max(values) / min(values) < 3.0, f"{series} must stay bounded"

@@ -1,0 +1,12 @@
+"""Fig 1 — the motivating zone map, recovered from data (full profile)."""
+
+from repro.experiments import fig01_zone_map
+
+
+def test_fig01_zone_map(run_once):
+    table = run_once(fig01_zone_map.run)
+    print()
+    table.print()
+    row = table.rows[0]
+    # The clustering must recover most of the (hidden) zone structure.
+    assert row["pairwise_agreement"] > 0.6

@@ -1,0 +1,14 @@
+"""Fig 9 — clustering quality vs δ on Death Valley data (full profile)."""
+
+from repro.experiments import fig09_quality_death_valley
+
+
+def test_fig09_quality_death_valley(run_once):
+    table = run_once(fig09_quality_death_valley.run)
+    print()
+    table.print()
+    counts = table.column("elink_implicit")
+    assert counts[0] > counts[-1]
+    # ELink beats the spanning forest decisively at coarse delta.
+    last = table.rows[-1]
+    assert last["elink_implicit"] < last["spanning_forest"]

@@ -1,0 +1,13 @@
+"""Fig 10 — update-handling cost vs slack (full profile)."""
+
+from repro.experiments import fig10_update_cost
+
+
+def test_fig10_update_cost(run_once):
+    table = run_once(fig10_update_cost.run)
+    print()
+    table.print()
+    # The paper's headline: ELink updates ~10x below the centralized scheme.
+    ratios = table.column("centralized_over_elink")
+    assert min(ratios) > 3.0
+    assert max(ratios) > 10.0

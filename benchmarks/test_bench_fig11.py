@@ -1,0 +1,12 @@
+"""Fig 11 — clustering quality vs slack (full profile)."""
+
+from repro.experiments import fig11_quality_slack
+
+
+def test_fig11_quality_slack(run_once):
+    table = run_once(fig11_quality_slack.run)
+    print()
+    table.print()
+    for series in ("elink", "centralized", "spanning_forest"):
+        counts = table.column(series)
+        assert counts[-1] >= counts[0], f"{series} quality must degrade with slack"

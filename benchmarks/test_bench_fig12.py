@@ -1,0 +1,14 @@
+"""Fig 12 — scalability with time on Tao data (full profile)."""
+
+from repro.experiments import fig12_scalability_time
+
+
+def test_fig12_scalability_time(run_once):
+    table = run_once(fig12_scalability_time.run)
+    print()
+    table.print()
+    last = table.rows[-1]
+    # Three log-scale bands: raw >> model-centralized >> in-network.
+    assert last["centralized_raw"] > 10 * last["centralized_model"]
+    assert last["centralized_model"] > 2 * last["elink_implicit"]
+    assert last["elink_explicit"] > last["elink_implicit"]

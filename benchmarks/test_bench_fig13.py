@@ -1,0 +1,19 @@
+"""Fig 13 — scalability with network size on synthetic data (full profile)."""
+
+from repro.experiments import fig13_scalability_size
+
+
+def test_fig13_scalability_size(run_once):
+    table = run_once(fig13_scalability_size.run)
+    print()
+    table.print()
+    first, last = table.rows[0], table.rows[-1]
+    growth = last["n"] / first["n"]
+    # Implicit ELink grows ~linearly; the centralized scheme super-linearly.
+    implicit_growth = last["elink_implicit"] / first["elink_implicit"]
+    centralized_growth = last["centralized"] / first["centralized"]
+    assert implicit_growth < 2.5 * growth
+    assert centralized_growth > implicit_growth
+    for row in table.rows:
+        assert row["elink_implicit"] < row["hierarchical"]
+        assert row["elink_implicit"] < row["centralized"]

@@ -1,0 +1,14 @@
+"""Fig 14 — range-query cost vs radius on Tao data (full profile)."""
+
+from repro.experiments import fig14_range_query_tao
+
+
+def test_fig14_range_query_tao(run_once):
+    table = run_once(fig14_range_query_tao.run)
+    print()
+    table.print()
+    for row in table.rows:
+        assert row["elink"] < row["tag"], "clustered querying must undercut TAG"
+    # Gains shrink (weakly) as the radius grows — the paper's trend.
+    gains = [row["tag"] / row["elink"] for row in table.rows]
+    assert max(gains) > 1.5

@@ -1,0 +1,13 @@
+"""Fig 15 — range-query cost vs radius on synthetic data (full profile)."""
+
+from repro.experiments import fig14_range_query_tao, fig15_range_query_synthetic
+
+
+def test_fig15_range_query_synthetic(run_once):
+    table = run_once(fig15_range_query_synthetic.run)
+    print()
+    table.print()
+    # Uncorrelated data: the clustered engines lose most of their edge —
+    # gains must be visibly smaller than Fig 14's.
+    gains = [row["tag"] / row["elink"] for row in table.rows]
+    assert max(gains) < 4.0

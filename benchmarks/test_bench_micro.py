@@ -1,0 +1,71 @@
+"""Micro-benchmarks for the core operations (true repeated-timing benches).
+
+These complement the one-shot figure benches with per-operation timings:
+ELink clustering throughput, M-tree construction, and per-query costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ELinkConfig, run_elink
+from repro.features import EuclideanMetric
+from repro.geometry import grid_topology
+from repro.index import build_backbone, build_mtree
+from repro.queries import RangeQueryEngine
+
+
+def _gradient_instance(side):
+    topology = grid_topology(side, side)
+    rng = np.random.default_rng(0)
+    features = {
+        v: np.array(
+            [0.05 * (topology.positions[v][0] + topology.positions[v][1])
+             + rng.normal(0, 0.01)]
+        )
+        for v in topology.graph.nodes
+    }
+    return topology, features
+
+
+@pytest.mark.parametrize("side", [10, 20])
+def test_elink_implicit_clustering(benchmark, side):
+    topology, features = _gradient_instance(side)
+    metric = EuclideanMetric()
+
+    result = benchmark(
+        run_elink, topology, features, metric, ELinkConfig(delta=0.4)
+    )
+    assert result.num_clusters >= 1
+
+
+def test_elink_explicit_clustering(benchmark):
+    topology, features = _gradient_instance(12)
+    metric = EuclideanMetric()
+    result = benchmark(
+        run_elink,
+        topology,
+        features,
+        metric,
+        ELinkConfig(delta=0.4, signalling="explicit"),
+    )
+    assert result.num_clusters >= 1
+
+
+def test_mtree_build(benchmark):
+    topology, features = _gradient_instance(15)
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=0.4)).clustering
+    index = benchmark(build_mtree, clustering, features, metric)
+    assert index.build_messages > 0
+
+
+def test_range_query_latency(benchmark):
+    topology, features = _gradient_instance(15)
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=0.4)).clustering
+    mtree = build_mtree(clustering, features, metric)
+    backbone = build_backbone(topology.graph, clustering)
+    engine = RangeQueryEngine(clustering, features, metric, mtree, backbone)
+    q = features[0]
+    out = benchmark(engine.query, q, 0.3, 0)
+    assert out.messages >= 0

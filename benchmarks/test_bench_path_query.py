@@ -1,0 +1,12 @@
+"""Path-query cost — clustered safe-tree search vs BFS flooding (§7.3)."""
+
+from repro.experiments import path_query_cost
+
+
+def test_path_query_cost(run_once):
+    table = run_once(path_query_cost.run)
+    print()
+    table.print()
+    useful = [row for row in table.rows if row["found_fraction"] > 0.3]
+    assert useful, "at least one gamma must leave routable queries"
+    assert max(row["flood_over_clustered"] for row in useful) > 1.5

@@ -1,0 +1,67 @@
+"""Shared argument-validation helpers.
+
+Small, explicit checks used across the package so that user errors surface
+as clear ``ValueError``/``TypeError`` messages at API boundaries instead of
+obscure failures deep inside a protocol run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return *value* if it is a finite number > 0, else raise ValueError."""
+    require_finite(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return *value* if it is a finite number >= 0, else raise ValueError."""
+    require_finite(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_finite(value: float, name: str) -> float:
+    """Return *value* if it is a finite real number, else raise ValueError."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def require_int_at_least(value: int, minimum: int, name: str) -> int:
+    """Return *value* if it is an int >= minimum, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def require_in_range(
+    value: float, low: float, high: float, name: str, *, inclusive: bool = True
+) -> float:
+    """Return *value* if low <= value <= high (or strict), else raise."""
+    require_finite(value, name)
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return value
+
+
+def require_non_empty(items: Sequence | Iterable, name: str) -> Sequence:
+    """Materialize *items* as a list and require it to be non-empty."""
+    materialized = list(items)
+    if not materialized:
+        raise ValueError(f"{name} must be non-empty")
+    return materialized

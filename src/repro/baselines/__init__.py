@@ -1,0 +1,24 @@
+"""Clustering baselines the paper compares ELink against (§8.3)."""
+
+from repro.baselines.centralized import (
+    SpectralResult,
+    centralized_collection_cost,
+    spectral_clustering_search,
+)
+from repro.baselines.hierarchical import HierarchicalResult, run_hierarchical
+from repro.baselines.spanning_forest import (
+    SpanningForestNode,
+    SpanningForestResult,
+    run_spanning_forest,
+)
+
+__all__ = [
+    "HierarchicalResult",
+    "SpanningForestNode",
+    "SpanningForestResult",
+    "SpectralResult",
+    "centralized_collection_cost",
+    "run_hierarchical",
+    "run_spanning_forest",
+    "spectral_clustering_search",
+]

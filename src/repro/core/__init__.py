@@ -1,0 +1,54 @@
+"""The paper's primary contribution: δ-clustering with ELink + maintenance."""
+
+from repro.core.delta import (
+    Clustering,
+    ClusteringViolation,
+    check_delta_compact,
+    clustering_from_assignment,
+    validate_clustering,
+)
+from repro.core.elink import (
+    ELinkConfig,
+    ELinkNode,
+    ELinkResult,
+    compute_kappa,
+    implicit_schedule,
+    run_elink,
+)
+from repro.core.hardness import (
+    clique_cover_to_delta_clustering,
+    delta_clustering_to_clique_cover,
+    optimal_clique_cover,
+    optimal_delta_clustering,
+    verify_reduction,
+)
+from repro.core.maintenance import (
+    CentralizedUpdateBaseline,
+    MaintenanceSession,
+    UpdateOutcome,
+)
+from repro.core.representatives import AcquisitionPlan, RepresentativeSampler
+
+__all__ = [
+    "AcquisitionPlan",
+    "CentralizedUpdateBaseline",
+    "Clustering",
+    "ClusteringViolation",
+    "ELinkConfig",
+    "ELinkNode",
+    "ELinkResult",
+    "MaintenanceSession",
+    "RepresentativeSampler",
+    "UpdateOutcome",
+    "check_delta_compact",
+    "clique_cover_to_delta_clustering",
+    "clustering_from_assignment",
+    "compute_kappa",
+    "delta_clustering_to_clique_cover",
+    "implicit_schedule",
+    "optimal_clique_cover",
+    "optimal_delta_clustering",
+    "run_elink",
+    "validate_clustering",
+    "verify_reduction",
+]

@@ -1,0 +1,44 @@
+"""Datasets used by the paper's evaluation (§8.1), rebuilt synthetically.
+
+See DESIGN.md §2 for the substitution rationale (the real TAO / USGS
+archives are not reachable offline; the generators preserve the spatial and
+temporal structure the experiments exercise).
+"""
+
+from repro.datasets.death_valley import (
+    ELEVATION_RANGE,
+    DeathValleyDataset,
+    diamond_square,
+    generate_death_valley_dataset,
+)
+from repro.datasets.synthetic import (
+    ALPHA_RANGE,
+    SyntheticDataset,
+    generate_synthetic_dataset,
+    stream_measurements,
+)
+from repro.datasets.tao import (
+    TAO_COLS,
+    TAO_ROWS,
+    TAO_SAMPLES_PER_DAY,
+    TaoDataset,
+    fit_features,
+    generate_tao_dataset,
+)
+
+__all__ = [
+    "ALPHA_RANGE",
+    "DeathValleyDataset",
+    "ELEVATION_RANGE",
+    "SyntheticDataset",
+    "TAO_COLS",
+    "TAO_ROWS",
+    "TAO_SAMPLES_PER_DAY",
+    "TaoDataset",
+    "diamond_square",
+    "fit_features",
+    "generate_death_valley_dataset",
+    "generate_synthetic_dataset",
+    "generate_tao_dataset",
+    "stream_measurements",
+]

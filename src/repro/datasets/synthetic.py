@@ -1,0 +1,176 @@
+"""Synthetic spatially-uncorrelated dataset (paper §8.1).
+
+Faithful implementation of the paper's generator: networks of 100–800
+nodes placed uniformly at random (densities 0.7–0.9, ~4 radio neighbours),
+with per-node data
+
+    x_t = α_i · x_{t-1} + e_t,   e_t ~ U(0,1),   α_i ~ U(0.4, 0.8)
+
+The AR(1) coefficient α_i is i.i.d. across nodes, so *neighbouring nodes
+are uncorrelated* — the worst case for spatial clustering, which is the
+point of the dataset (Figs 13, 15 show shrunken gains).
+
+Estimation note.  ``e_t ~ U(0,1)`` has mean 1/2, so the process has a
+non-zero level ``0.5/(1-α)``; a no-intercept AR(1) regression is then
+biased toward 1 for *every* node (the level term dominates), which would
+collapse all features into a tiny band and make the dataset useless for a
+δ sweep.  We therefore fit the AR(1) coefficient jointly with an intercept
+(equivalently, the model is ``x_t - m = α(x_{t-1} - m) + ẽ_t``), which is
+consistent and recovers the i.i.d. α_i spread the experiments rely on.
+This deviation from the paper's literal "initialized with α1 = 1, updated
+every measurement" wording is recorded in DESIGN.md; the online estimator
+still starts at α=1 before data arrives and refines with every
+measurement, keeping the streaming character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro._validation import require_in_range, require_int_at_least
+from repro.features import EuclideanMetric
+from repro.geometry.topology import Topology, random_geometric_topology
+
+#: The paper's α range for the per-node AR(1) coefficient.
+ALPHA_RANGE = (0.4, 0.8)
+
+
+class OnlineAR1Ensemble:
+    """Streaming AR(1)-with-intercept estimators for a whole network.
+
+    Maintains per-node running sums so each measurement round updates every
+    node's α estimate in O(1) vectorized work — the simulation-side stand-in
+    for each node's on-mote recursive estimator.
+    """
+
+    def __init__(self, n: int):
+        require_int_at_least(n, 1, "n")
+        self.n = n
+        self._count = 0
+        self._sx = np.zeros(n)
+        self._sy = np.zeros(n)
+        self._sxx = np.zeros(n)
+        self._sxy = np.zeros(n)
+
+    def update(self, previous: np.ndarray, values: np.ndarray) -> None:
+        """Absorb one measurement round: regress values on previous."""
+        if previous.shape != (self.n,) or values.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},) arrays")
+        self._count += 1
+        self._sx += previous
+        self._sy += values
+        self._sxx += previous * previous
+        self._sxy += previous * values
+
+    @property
+    def observations(self) -> int:
+        """Number of measurement rounds absorbed."""
+        return self._count
+
+    def alphas(self) -> np.ndarray:
+        """Current α estimates (α=1 until two observations arrive, as the
+        paper initializes every node with α1 = 1)."""
+        if self._count < 2:
+            return np.ones(self.n)
+        denominator = self._count * self._sxx - self._sx * self._sx
+        numerator = self._count * self._sxy - self._sx * self._sy
+        safe = np.abs(denominator) > 1e-12
+        out = np.ones(self.n)
+        out[safe] = numerator[safe] / denominator[safe]
+        return out
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated uncorrelated dataset.
+
+    Attributes
+    ----------
+    topology:
+        Random geometric communication graph.
+    features:
+        Per-node fitted AR(1) coefficient (1-d feature), estimated online
+        from ``readings`` streamed measurements.
+    true_alphas:
+        The ground-truth α_i values (never shown to the algorithms).
+    estimator:
+        The streaming ensemble, ready to absorb further measurements.
+    """
+
+    topology: Topology
+    features: dict[Hashable, np.ndarray]
+    true_alphas: dict[Hashable, float]
+    estimator: OnlineAR1Ensemble
+    _state: np.ndarray  # last measurement per node, for stream continuation
+
+    def metric(self) -> EuclideanMetric:
+        """The metric this dataset is clustered under."""
+        return EuclideanMetric()
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        """Node ids in topology order."""
+        return list(self.topology.graph.nodes)
+
+
+def generate_synthetic_dataset(
+    n: int,
+    *,
+    seed: int,
+    density: float = 0.8,
+    readings: int = 2000,
+) -> SyntheticDataset:
+    """Generate the paper's synthetic dataset for an *n*-node network.
+
+    *readings* is the number of streamed measurements used to fit each
+    node's AR(1) model (the paper streams 100,000; a couple of thousand
+    already converges the estimate to ~2 decimals, so tests and benchmarks
+    default lower).
+    """
+    require_int_at_least(n, 1, "n")
+    require_in_range(density, 0.1, 2.0, "density")
+    require_int_at_least(readings, 10, "readings")
+    rng = np.random.default_rng(seed)
+    topology = random_geometric_topology(n, seed=seed, density=density, target_degree=4.0)
+    nodes = list(topology.graph.nodes)
+
+    alphas = rng.uniform(*ALPHA_RANGE, size=n)
+    estimator = OnlineAR1Ensemble(n)
+    state = rng.uniform(0.0, 1.0, size=n)
+    for _ in range(readings):
+        values = alphas * state + rng.uniform(0.0, 1.0, size=n)
+        estimator.update(state, values)
+        state = values
+
+    fitted = estimator.alphas()
+    features = {node: np.array([fitted[k]]) for k, node in enumerate(nodes)}
+    true_alphas = {node: float(alphas[k]) for k, node in enumerate(nodes)}
+    return SyntheticDataset(topology, features, true_alphas, estimator, state)
+
+
+def stream_measurements(dataset: SyntheticDataset, steps: int, *, seed: int) -> np.ndarray:
+    """Continue the per-node streams for *steps* rounds, updating estimates.
+
+    Returns the fitted-α trajectory, shape ``(steps, n)`` in node order; the
+    dataset's ``features`` are updated in place.  Used by the
+    update-handling and scalability experiments.
+    """
+    require_int_at_least(steps, 1, "steps")
+    rng = np.random.default_rng(seed)
+    nodes = dataset.nodes
+    n = len(nodes)
+    alphas = np.array([dataset.true_alphas[node] for node in nodes])
+    state = dataset._state
+    out = np.empty((steps, n), dtype=np.float64)
+    for step in range(steps):
+        values = alphas * state + rng.uniform(0.0, 1.0, size=n)
+        dataset.estimator.update(state, values)
+        state = values
+        out[step] = dataset.estimator.alphas()
+    dataset._state = state
+    for k, node in enumerate(nodes):
+        dataset.features[node] = np.array([out[-1, k]])
+    return out

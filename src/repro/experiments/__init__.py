@@ -1,0 +1,52 @@
+"""One experiment module per figure of the paper's evaluation (§8).
+
+Run any experiment standalone (``python -m
+repro.experiments.fig08_quality_tao``) or all of them via
+:mod:`repro.experiments.runner`.  Each module's ``run(profile=...)``
+returns an :class:`~repro.experiments.common.ExperimentTable`; the
+``"full"`` profile uses the paper's parameters, ``"quick"`` a shrunk
+version for tests.
+"""
+
+from repro.experiments import (
+    ablation_asynchrony,
+    ablation_loss,
+    ablation_signalling,
+    ablation_switching,
+    complexity,
+    energy_hotspots,
+    fig01_zone_map,
+    fig08_quality_tao,
+    fig09_quality_death_valley,
+    fig10_update_cost,
+    fig11_quality_slack,
+    fig12_scalability_time,
+    fig13_scalability_size,
+    fig14_range_query_tao,
+    fig15_range_query_synthetic,
+    optimality_gap,
+    path_query_cost,
+)
+from repro.experiments.common import ExperimentTable
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01_zone_map,
+    "fig08": fig08_quality_tao,
+    "fig09": fig09_quality_death_valley,
+    "fig10": fig10_update_cost,
+    "fig11": fig11_quality_slack,
+    "fig12": fig12_scalability_time,
+    "fig13": fig13_scalability_size,
+    "fig14": fig14_range_query_tao,
+    "fig15": fig15_range_query_synthetic,
+    "complexity": complexity,
+    "path_query": path_query_cost,
+    "ablation_signalling": ablation_signalling,
+    "ablation_asynchrony": ablation_asynchrony,
+    "ablation_switching": ablation_switching,
+    "ablation_loss": ablation_loss,
+    "optimality_gap": optimality_gap,
+    "energy_hotspots": energy_hotspots,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentTable"]

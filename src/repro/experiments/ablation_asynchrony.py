@@ -1,0 +1,96 @@
+"""Ablation — asynchrony: why the explicit technique exists (§5).
+
+The implicit timers guarantee level ordering only for synchronous
+networks: the stretch factor γ in ``κ = (1+γ)·√(N/2)`` absorbs bounded
+delay variation, and beyond it a level can start before its predecessor
+finished, re-introducing cross-level contention.  Explicit signalling
+orders levels by messages and is correct for *any* delay distribution.
+
+This ablation sweeps per-hop delay jitter (each hop takes
+``hop_delay · (1 + U(0, jitter))``) and reports both modes' cluster
+quality.  Measured outcome (recorded in EXPERIMENTS.md): δ-validity is
+*never* at risk for either mode — the δ/2 join rule is local — and on the
+54-node Tao grid even heavy jitter barely moves implicit quality, because
+cross-level contention needs deep sentinel hierarchies to bite; the
+explicit mode's guarantee is about worst cases, not typical ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ELinkConfig, run_elink, validate_clustering
+from repro.datasets import fit_features, generate_tao_dataset
+from repro.experiments.common import ExperimentTable, check_profile
+from repro.sim import EventKernel, Network
+
+DELTA = 0.1
+JITTERS = (0.0, 0.3, 0.6, 1.0, 2.0, 4.0)
+
+
+def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    check_profile(profile)
+    if profile == "full":
+        dataset = generate_tao_dataset(seed=seed)
+        repeats = 5
+    else:
+        dataset = generate_tao_dataset(
+            seed=seed, samples_per_day=24, training_days=8, stream_days=2
+        )
+        repeats = 2
+    _, features = fit_features(dataset)
+    metric = dataset.metric()
+    topology = dataset.topology
+
+    table = ExperimentTable(
+        name="ablation_asynchrony",
+        title=(
+            f"Ablation: hop-delay jitter vs signalling (delta = {DELTA}, "
+            "gamma = 0.3; avg clusters over seeds)"
+        ),
+        columns=("jitter", "implicit_clusters", "explicit_clusters", "both_valid"),
+    )
+    for jitter in JITTERS:
+        implicit_counts, explicit_counts = [], []
+        valid = True
+        for repeat in range(repeats):
+            for mode, sink in (("implicit", implicit_counts), ("explicit", explicit_counts)):
+                network = Network(
+                    topology.graph,
+                    EventKernel(),
+                    jitter=jitter,
+                    jitter_seed=seed * 100 + repeat,
+                )
+                result = run_elink(
+                    topology,
+                    features,
+                    metric,
+                    ELinkConfig(delta=DELTA, signalling=mode),
+                    network=network,
+                )
+                sink.append(result.num_clusters)
+                if validate_clustering(
+                    topology.graph, result.clustering, features, metric, DELTA
+                ):
+                    valid = False
+        table.add_row(
+            jitter=jitter,
+            implicit_clusters=float(np.mean(implicit_counts)),
+            explicit_clusters=float(np.mean(explicit_counts)),
+            both_valid=valid,
+        )
+    table.notes.append(
+        "every clustering stays a valid delta-clustering regardless of jitter; "
+        "asynchrony costs the implicit mode quality, not correctness"
+    )
+    return table
+
+
+def main() -> None:
+    """Command-line entry point."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Shared infrastructure for the figure-reproduction experiments.
+
+Every experiment module exposes ``run(profile=..., seed=...) ->
+ExperimentTable`` and a ``main()`` that prints the table the corresponding
+paper figure plots.  Two profiles keep the same structure at different
+scales:
+
+- ``"full"`` — the paper's parameters (used by the benchmark harness),
+- ``"quick"`` — shrunk datasets for tests and smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+PROFILES = ("full", "quick")
+
+
+def check_profile(profile: str) -> str:
+    """Validate an experiment profile name."""
+    if profile not in PROFILES:
+        raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
+    return profile
+
+
+@dataclass
+class ExperimentTable:
+    """A printable experiment result: one row per parameter setting."""
+
+    name: str
+    title: str
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; every declared column must be present."""
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"row missing columns: {sorted(missing)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """Values of one column across rows."""
+        return [row[name] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the table as aligned text."""
+        widths = {
+            c: max(len(c), *(len(_fmt(row[c])) for row in self.rows)) if self.rows else len(c)
+            for c in self.columns
+        }
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(c.ljust(widths[c]) for c in self.columns))
+        lines.append("-+-".join("-" * widths[c] for c in self.columns))
+        for row in self.rows:
+            lines.append(" | ".join(_fmt(row[c]).ljust(widths[c]) for c in self.columns))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table to stdout."""
+        print(self.to_text())
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

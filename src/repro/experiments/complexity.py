@@ -1,0 +1,81 @@
+"""Empirical check of Theorems 2–3: O(N) messages, O(√N · log N) time.
+
+Runs ELink (both signalling modes) on square grids of growing size with a
+smooth synthetic field and reports messages-per-node and
+time/(√N · log₄ N) — both should stay near-constant as N grows if the
+bounds hold.  Also reports packet counts (the theorems bound packets; the
+experiments elsewhere use the value-weighted metric).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import ELinkConfig, run_elink
+from repro.experiments.common import ExperimentTable, check_profile
+from repro.geometry import grid_topology
+
+SIDES_FULL = (7, 10, 15, 20, 25)
+SIDES_QUICK = (5, 8)
+
+
+def run(profile: str = "full", seed: int = 0) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    check_profile(profile)
+    sides = SIDES_FULL if profile == "full" else SIDES_QUICK
+    table = ExperimentTable(
+        name="complexity",
+        title=(
+            "Theorems 2-3 check: messages/N and time/(sqrt(N)*log4 N) should "
+            "stay near-constant"
+        ),
+        columns=(
+            "n",
+            "implicit_msgs_per_node",
+            "implicit_time_norm",
+            "explicit_msgs_per_node",
+            "explicit_time_norm",
+        ),
+    )
+    rng = np.random.default_rng(seed)
+    for side in sides:
+        topology = grid_topology(side, side)
+        n = topology.num_nodes
+        # Smooth field with moderate structure: a diagonal gradient plus noise.
+        features = {
+            v: np.array(
+                [
+                    0.05 * (topology.positions[v][0] + topology.positions[v][1])
+                    + rng.normal(0, 0.01)
+                ]
+            )
+            for v in topology.graph.nodes
+        }
+        from repro.features import EuclideanMetric
+
+        metric = EuclideanMetric()
+        delta = 0.3
+        implicit = run_elink(topology, features, metric, ELinkConfig(delta=delta))
+        explicit = run_elink(
+            topology, features, metric, ELinkConfig(delta=delta, signalling="explicit")
+        )
+        norm = math.sqrt(n) * max(math.log(n, 4), 1.0)
+        table.add_row(
+            n=n,
+            implicit_msgs_per_node=implicit.stats.total_packets / n,
+            implicit_time_norm=implicit.protocol_time / norm,
+            explicit_msgs_per_node=explicit.stats.total_packets / n,
+            explicit_time_norm=explicit.protocol_time / norm,
+        )
+    return table
+
+
+def main() -> None:
+    """Command-line entry point."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Figure 8 — clustering quality on the Tao dataset.
+
+Sweeps δ and reports the number of clusters produced by ELink (implicit
+and explicit — the paper notes they output identical clusters), the
+centralized spectral algorithm, the distributed hierarchical algorithm and
+the spanning-forest algorithm.  Paper parameters: φ = 0.1·δ, c = 4.
+
+Expected shape: cluster counts fall as δ grows; ELink tracks the
+centralized scheme closely and beats the spanning forest; hierarchical
+sits between.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    run_hierarchical,
+    run_spanning_forest,
+    spectral_clustering_search,
+)
+from repro.core import ELinkConfig, run_elink
+from repro.datasets import fit_features, generate_tao_dataset
+from repro.experiments.common import ExperimentTable, check_profile
+
+#: δ sweep over the Tao feature space (weighted-Euclidean coefficient units).
+DELTAS = (0.02, 0.05, 0.1, 0.2, 0.3, 0.4)
+
+
+def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    check_profile(profile)
+    if profile == "full":
+        dataset = generate_tao_dataset(seed=seed)
+    else:
+        dataset = generate_tao_dataset(
+            seed=seed, samples_per_day=24, training_days=8, stream_days=2
+        )
+    _, features = fit_features(dataset)
+    metric = dataset.metric()
+    topology = dataset.topology
+
+    table = ExperimentTable(
+        name="fig08",
+        title="Fig 8: clustering quality on Tao data (number of clusters vs delta)",
+        columns=(
+            "delta",
+            "elink_implicit",
+            "elink_explicit",
+            "centralized",
+            "hierarchical",
+            "spanning_forest",
+        ),
+    )
+    for delta in DELTAS:
+        implicit = run_elink(
+            topology, features, metric, ELinkConfig(delta=delta, signalling="implicit")
+        )
+        explicit = run_elink(
+            topology, features, metric, ELinkConfig(delta=delta, signalling="explicit")
+        )
+        spectral = spectral_clustering_search(topology.graph, features, metric, delta)
+        hierarchical = run_hierarchical(topology.graph, features, metric, delta)
+        forest = run_spanning_forest(topology, features, metric, delta)
+        table.add_row(
+            delta=delta,
+            elink_implicit=implicit.num_clusters,
+            elink_explicit=explicit.num_clusters,
+            centralized=spectral.num_clusters,
+            hierarchical=hierarchical.num_clusters,
+            spanning_forest=forest.num_clusters,
+        )
+    table.notes.append("phi = 0.1*delta, c = 4 (paper section 8.4)")
+    return table
+
+
+def main() -> None:
+    """Command-line entry point."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figure 11 — clustering quality with varying slack.
+
+Granting a slack Δ means clustering with the reduced threshold δ-2Δ, so
+every algorithm produces more clusters as Δ grows — the quality side of
+the quality-for-communication trade Fig 10 prices.  This experiment sweeps
+Δ at fixed δ on the Tao data and reports each algorithm's cluster count at
+the effective threshold.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    run_hierarchical,
+    run_spanning_forest,
+    spectral_clustering_search,
+)
+from repro.core import ELinkConfig, run_elink
+from repro.datasets import fit_features, generate_tao_dataset
+from repro.experiments.common import ExperimentTable, check_profile
+from repro.experiments.fig10_update_cost import DELTA, SLACKS
+
+
+def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    check_profile(profile)
+    if profile == "full":
+        dataset = generate_tao_dataset(seed=seed)
+    else:
+        dataset = generate_tao_dataset(
+            seed=seed, samples_per_day=24, training_days=8, stream_days=2
+        )
+    _, features = fit_features(dataset)
+    metric = dataset.metric()
+    topology = dataset.topology
+
+    table = ExperimentTable(
+        name="fig11",
+        title=(
+            f"Fig 11: clustering quality with varying slack (delta = {DELTA}; "
+            "clusters at effective threshold delta - 2*slack)"
+        ),
+        columns=("slack", "elink", "centralized", "hierarchical", "spanning_forest"),
+    )
+    for slack in SLACKS:
+        effective = DELTA - 2 * slack
+        elink = run_elink(topology, features, metric, ELinkConfig(delta=effective))
+        spectral = spectral_clustering_search(topology.graph, features, metric, effective)
+        hierarchical = run_hierarchical(topology.graph, features, metric, effective)
+        forest = run_spanning_forest(topology, features, metric, effective)
+        table.add_row(
+            slack=slack,
+            elink=elink.num_clusters,
+            centralized=spectral.num_clusters,
+            hierarchical=hierarchical.num_clusters,
+            spanning_forest=forest.num_clusters,
+        )
+    return table
+
+
+def main() -> None:
+    """Command-line entry point."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

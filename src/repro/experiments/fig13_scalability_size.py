@@ -1,0 +1,132 @@
+"""Figure 13 — scalability with network size on the synthetic data.
+
+Sweeps N over the paper's 100–800 range.  For every N the network is
+clustered once by each scheme and then maintains a stream of model-update
+rounds; the reported cost is clustering + update handling:
+
+- the centralized scheme ships every node's coefficients to the base
+  station and keeps shipping on slack violations — cost grows with network
+  *diameter* × N;
+- hierarchical clustering pays leader-bound negotiation every merge round
+  — the O(N²) term;
+- ELink (both signalling modes) and the spanning forest confine everything
+  locally — near-linear in N, with explicit ELink carrying the
+  synchronization surcharge over implicit.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    centralized_collection_cost,
+    run_hierarchical,
+    run_spanning_forest,
+)
+from repro.core import (
+    CentralizedUpdateBaseline,
+    ELinkConfig,
+    MaintenanceSession,
+    run_elink,
+)
+from repro.datasets import generate_synthetic_dataset, stream_measurements
+from repro.experiments.common import ExperimentTable, check_profile
+
+DELTA = 0.08
+SLACK = 0.015
+UPDATE_ROUNDS = 150
+
+SIZES_FULL = (100, 200, 400, 600, 800)
+SIZES_QUICK = (60, 120)
+
+
+def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    check_profile(profile)
+    sizes = SIZES_FULL if profile == "full" else SIZES_QUICK
+    rounds = UPDATE_ROUNDS if profile == "full" else 30
+
+    table = ExperimentTable(
+        name="fig13",
+        title="Fig 13: scalability with network size on synthetic data (total messages)",
+        columns=(
+            "n",
+            "elink_implicit",
+            "elink_explicit",
+            "centralized",
+            "hierarchical",
+            "spanning_forest",
+        ),
+    )
+    effective_delta = DELTA - 2 * SLACK
+    for n in sizes:
+        dataset = generate_synthetic_dataset(n, seed=seed)
+        metric = dataset.metric()
+        graph = dataset.topology.graph
+        base_station = dataset.nodes[0]
+
+        implicit = run_elink(
+            dataset.topology, dataset.features, metric, ELinkConfig(delta=effective_delta)
+        )
+        explicit = run_elink(
+            dataset.topology,
+            dataset.features,
+            metric,
+            ELinkConfig(delta=effective_delta, signalling="explicit"),
+        )
+        hierarchical = run_hierarchical(graph, dataset.features, metric, effective_delta)
+        forest = run_spanning_forest(dataset.topology, dataset.features, metric, effective_delta)
+
+        sinks = {
+            "elink_implicit": MaintenanceSession(
+                graph, implicit.clustering, dataset.features, metric, DELTA, SLACK
+            ),
+            "elink_explicit": MaintenanceSession(
+                graph, explicit.clustering, dataset.features, metric, DELTA, SLACK
+            ),
+            "hierarchical": MaintenanceSession(
+                graph, hierarchical.clustering, dataset.features, metric, DELTA, SLACK
+            ),
+            "spanning_forest": MaintenanceSession(
+                graph, forest.clustering, dataset.features, metric, DELTA, SLACK
+            ),
+        }
+        centralized = CentralizedUpdateBaseline(
+            graph, dataset.features, base_station, SLACK
+        )
+        # Centralized also pays the initial coefficient collection.
+        centralized_total = centralized_collection_cost(graph, base_station, 1)
+
+        trajectory = stream_measurements(dataset, rounds, seed=seed + 1)
+        nodes = dataset.nodes
+        for step in range(trajectory.shape[0]):
+            for k, node in enumerate(nodes):
+                feature = trajectory[step, k : k + 1]
+                for sink in sinks.values():
+                    sink.update_feature(node, feature)
+                centralized.update_feature(node, feature)
+        centralized_total += centralized.total_messages()
+
+        table.add_row(
+            n=n,
+            elink_implicit=implicit.total_messages
+            + sinks["elink_implicit"].total_messages(),
+            elink_explicit=explicit.total_messages
+            + sinks["elink_explicit"].total_messages(),
+            centralized=centralized_total,
+            hierarchical=hierarchical.total_messages
+            + sinks["hierarchical"].total_messages(),
+            spanning_forest=forest.total_messages
+            + sinks["spanning_forest"].total_messages(),
+        )
+    table.notes.append(
+        f"delta = {DELTA}, slack = {SLACK}, {rounds} streamed update rounds per size"
+    )
+    return table
+
+
+def main() -> None:
+    """Command-line entry point."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Figure 14 — range-query cost on the Tao data.
+
+Builds the M-tree index and leader backbone on top of each clustering
+algorithm's output and measures the average per-query message cost as the
+query radius sweeps (0.7δ, 0.9δ), with query features sampled uniformly
+from the nodes (paper §8.6).  TAG's fixed distribute-and-collect cost is
+the flat reference line.
+
+Expected shape: on this spatially-correlated data the clustered engines
+prune most clusters via δ-compactness, sitting several times below TAG;
+the advantage narrows as the radius grows and pruning weakens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import run_hierarchical, run_spanning_forest
+from repro.core import Clustering, ELinkConfig, run_elink
+from repro.datasets import fit_features, generate_tao_dataset
+from repro.experiments.common import ExperimentTable, check_profile
+from repro.index import build_backbone, build_mtree
+from repro.queries import RangeQueryEngine, TagEngine, brute_force_range
+
+DELTA = 0.08
+RADIUS_FRACTIONS = (0.7, 0.75, 0.8, 0.85, 0.9)
+
+
+def _engine(graph, clustering: Clustering, features, metric) -> RangeQueryEngine:
+    mtree = build_mtree(clustering, features, metric)
+    backbone = build_backbone(graph, clustering)
+    return RangeQueryEngine(clustering, features, metric, mtree, backbone)
+
+
+def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    check_profile(profile)
+    if profile == "full":
+        dataset = generate_tao_dataset(seed=seed)
+        num_queries = 200
+    else:
+        dataset = generate_tao_dataset(
+            seed=seed, samples_per_day=24, training_days=8, stream_days=2
+        )
+        num_queries = 30
+    _, features = fit_features(dataset)
+    metric = dataset.metric()
+    topology = dataset.topology
+    graph = topology.graph
+    nodes = list(graph.nodes)
+
+    engines = {
+        "elink": _engine(
+            graph,
+            run_elink(topology, features, metric, ELinkConfig(delta=DELTA)).clustering,
+            features,
+            metric,
+        ),
+        "hierarchical": _engine(
+            graph,
+            run_hierarchical(graph, features, metric, DELTA).clustering,
+            features,
+            metric,
+        ),
+        "spanning_forest": _engine(
+            graph,
+            run_spanning_forest(topology, features, metric, DELTA).clustering,
+            features,
+            metric,
+        ),
+    }
+    tag = TagEngine(graph, features, metric)
+
+    table = ExperimentTable(
+        name="fig14",
+        title=(
+            f"Fig 14: range query cost on Tao data (avg messages/query, delta = {DELTA})"
+        ),
+        columns=("radius_over_delta", "elink", "hierarchical", "spanning_forest", "tag"),
+    )
+    rng = np.random.default_rng(seed)
+    for fraction in RADIUS_FRACTIONS:
+        radius = fraction * DELTA
+        costs = {name: [] for name in engines}
+        for _ in range(num_queries):
+            initiator = nodes[int(rng.integers(len(nodes)))]
+            q = features[nodes[int(rng.integers(len(nodes)))]]
+            truth = brute_force_range(features, metric, q, radius)
+            for name, engine in engines.items():
+                out = engine.query(q, radius, initiator)
+                if out.matches != truth:
+                    raise AssertionError(f"{name} returned a wrong answer set")
+                costs[name].append(out.messages)
+        table.add_row(
+            radius_over_delta=fraction,
+            tag=tag.per_query_cost(),
+            **{name: float(np.mean(values)) for name, values in costs.items()},
+        )
+    table.notes.append("query features sampled uniformly from node features (section 8.6)")
+    return table
+
+
+def main() -> None:
+    """Command-line entry point."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

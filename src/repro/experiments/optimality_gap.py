@@ -1,0 +1,69 @@
+"""Optimality gap — the heuristics against the exact optimum (Theorem 1).
+
+δ-clustering is NP-complete, so all the algorithms in the paper are
+heuristics; on small random instances the branch-and-bound solver of
+:mod:`repro.core.hardness` gives the true optimum, letting us measure how
+far each heuristic lands from it (in number of clusters, averaged over
+instances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import run_hierarchical, run_spanning_forest
+from repro.core import ELinkConfig, run_elink
+from repro.core.hardness import optimal_delta_clustering
+from repro.experiments.common import ExperimentTable, check_profile
+from repro.features import EuclideanMetric
+from repro.geometry import random_geometric_topology
+
+DELTA = 1.0
+
+
+def run(profile: str = "full", seed: int = 0) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    check_profile(profile)
+    if profile == "full":
+        sizes, instances = (8, 10, 12), 8
+    else:
+        sizes, instances = (6, 8), 3
+
+    metric = EuclideanMetric()
+    table = ExperimentTable(
+        name="optimality_gap",
+        title=(
+            "Optimality gap vs exact branch-and-bound "
+            f"(delta = {DELTA}, avg clusters over random instances)"
+        ),
+        columns=("n", "optimal", "elink", "hierarchical", "spanning_forest"),
+    )
+    rng = np.random.default_rng(seed)
+    for n in sizes:
+        sums = {"optimal": 0.0, "elink": 0.0, "hierarchical": 0.0, "spanning_forest": 0.0}
+        for instance in range(instances):
+            topology = random_geometric_topology(n, seed=seed * 1000 + n * 17 + instance)
+            features = {v: rng.normal(size=1) for v in topology.graph.nodes}
+            optimal = optimal_delta_clustering(topology.graph, features, metric, DELTA)
+            sums["optimal"] += len(optimal)
+            sums["elink"] += run_elink(
+                topology, features, metric, ELinkConfig(delta=DELTA)
+            ).num_clusters
+            sums["hierarchical"] += run_hierarchical(
+                topology.graph, features, metric, DELTA
+            ).num_clusters
+            sums["spanning_forest"] += run_spanning_forest(
+                topology, features, metric, DELTA
+            ).num_clusters
+        table.add_row(n=n, **{k: v / instances for k, v in sums.items()})
+    table.notes.append("every heuristic count is >= the optimal count by construction")
+    return table
+
+
+def main() -> None:
+    """Command-line entry point."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Path-query cost: clustered safe-tree search vs BFS flooding (§7.3).
+
+The paper defers its path-query numbers to the technical report but
+describes the algorithm and its BFS baseline; this experiment measures
+both on the Death-Valley-like terrain, treating high elevation as the
+danger feature — "find a route that stays at least γ below the ridge".
+
+For each γ the table reports the average per-query messages of the
+clustered engine and the BFS flood (over queries where both agree a path
+exists), the clustered/flood gain, and the fraction of queries answered
+(both engines always agree on feasibility; tests assert it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ELinkConfig, run_elink
+from repro.datasets import generate_death_valley_dataset
+from repro.experiments.common import ExperimentTable, check_profile
+from repro.index import build_mtree
+from repro.queries import PathQueryEngine, bfs_flood_path
+
+DELTA = 150.0
+GAMMAS = (300.0, 500.0, 700.0, 900.0)
+DANGER = np.array([1996.0])  # the terrain's highest elevation
+
+
+def run(profile: str = "full", seed: int = 11) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    check_profile(profile)
+    if profile == "full":
+        num_sensors, num_queries = 1200, 120
+    else:
+        num_sensors, num_queries = 250, 25
+    dataset = generate_death_valley_dataset(seed=seed, num_sensors=num_sensors)
+    metric = dataset.metric()
+    graph = dataset.topology.graph
+    nodes = list(graph.nodes)
+
+    clustering = run_elink(
+        dataset.topology, dataset.features, metric, ELinkConfig(delta=DELTA)
+    ).clustering
+    mtree = build_mtree(clustering, dataset.features, metric)
+    engine = PathQueryEngine(graph, clustering, dataset.features, metric, mtree)
+
+    table = ExperimentTable(
+        name="path_query",
+        title=(
+            "Path query cost on Death Valley terrain (avg messages/query; "
+            f"delta = {DELTA}, danger = ridge elevation)"
+        ),
+        columns=("gamma", "clustered", "bfs_flood", "flood_over_clustered", "found_fraction"),
+    )
+    rng = np.random.default_rng(seed)
+    for gamma in GAMMAS:
+        clustered_costs, flood_costs, found = [], [], 0
+        for _ in range(num_queries):
+            source = nodes[int(rng.integers(len(nodes)))]
+            destination = nodes[int(rng.integers(len(nodes)))]
+            ours = engine.query(source, destination, DANGER, gamma)
+            flood = bfs_flood_path(
+                graph, dataset.features, metric, source, destination, DANGER, gamma
+            )
+            if (ours.path is None) != (flood.path is None):
+                raise AssertionError("clustered and flood engines disagree on feasibility")
+            if ours.path is not None:
+                found += 1
+                clustered_costs.append(ours.messages)
+                flood_costs.append(flood.messages)
+        clustered_avg = float(np.mean(clustered_costs)) if clustered_costs else 0.0
+        flood_avg = float(np.mean(flood_costs)) if flood_costs else 0.0
+        table.add_row(
+            gamma=gamma,
+            clustered=clustered_avg,
+            bfs_flood=flood_avg,
+            flood_over_clustered=(flood_avg / clustered_avg if clustered_avg else 0.0),
+            found_fraction=found / num_queries,
+        )
+    return table
+
+
+def main() -> None:
+    """Command-line entry point."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Run every figure experiment and print (or save) the tables.
+
+Usage::
+
+    python -m repro.experiments.runner                # full profile, stdout
+    python -m repro.experiments.runner --quick        # shrunk profile
+    python -m repro.experiments.runner --only fig08 fig10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use the shrunk profile")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help=f"experiment names to run (default: all of {sorted(ALL_EXPERIMENTS)})",
+    )
+    args = parser.parse_args(argv)
+    profile = "quick" if args.quick else "full"
+    names = args.only if args.only else list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        start = time.time()
+        table = module.run(profile=profile)
+        table.print()
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

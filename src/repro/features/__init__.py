@@ -1,0 +1,27 @@
+"""Features and metric distances (paper §2.2)."""
+
+from repro.features.metrics import (
+    EuclideanMetric,
+    FeatureLike,
+    ManhattanMetric,
+    MatrixMetric,
+    Metric,
+    WeightedEuclideanMetric,
+    as_feature,
+    check_metric_axioms,
+)
+
+#: Weight vector the paper uses for the Tao dataset's 4-coefficient feature.
+TAO_WEIGHTS = (0.5, 0.3, 0.2, 0.1)
+
+__all__ = [
+    "EuclideanMetric",
+    "FeatureLike",
+    "ManhattanMetric",
+    "MatrixMetric",
+    "Metric",
+    "TAO_WEIGHTS",
+    "WeightedEuclideanMetric",
+    "as_feature",
+    "check_metric_axioms",
+]

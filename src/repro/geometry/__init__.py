@@ -1,0 +1,20 @@
+"""Topologies, bounding boxes and the quadtree sentinel hierarchy."""
+
+from repro.geometry.quadtree import QuadCell, QuadTreeDecomposition
+from repro.geometry.topology import (
+    BoundingBox,
+    Topology,
+    grid_topology,
+    random_geometric_topology,
+    scatter_topology,
+)
+
+__all__ = [
+    "BoundingBox",
+    "QuadCell",
+    "QuadTreeDecomposition",
+    "Topology",
+    "grid_topology",
+    "random_geometric_topology",
+    "scatter_topology",
+]

@@ -1,0 +1,198 @@
+"""Quadtree decomposition and sentinel sets (paper §3.2).
+
+The network's square bounding box is recursively split into 4 subcells.
+Every cell elects a **leader** — the node closest to the cell centroid that
+has not already been elected at a shallower level (footnote 1).  The leaders
+of all level-*l* cells form the **sentinel set** ``S_l``; every node ends up
+in exactly one sentinel set, so ``Σ_l |S_l| = N``.
+
+The quadtree parent of a sentinel ``s ∈ S_l`` is the leader of the enclosing
+level-(l-1) cell; that leader always exists because *s* itself was still
+unelected when that cell voted.  ELink's implicit signalling schedules
+``S_l`` by timers derived from the level; the explicit signalling walks
+phase1/phase2/start messages up and down this parent relation.
+
+For irregular placements the depth can exceed the grid-case
+``log4(3N+1) - 1`` by a small constant (footnote 2); a depth cap guards
+against pathological co-located points, flushing any remaining unelected
+nodes into the deepest level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from repro.geometry.topology import BoundingBox, Topology
+
+
+@dataclass
+class QuadCell:
+    """One cell of the quadtree."""
+
+    level: int
+    bounds: BoundingBox
+    members: list[Hashable]
+    leader: Hashable | None = None
+    parent: "QuadCell | None" = field(default=None, repr=False)
+    children: list["QuadCell"] = field(default_factory=list, repr=False)
+
+    @property
+    def centroid(self) -> tuple[float, float]:
+        """Geometric centre of the cell."""
+        return self.bounds.center
+
+
+class QuadTreeDecomposition:
+    """Sentinel hierarchy over a :class:`~repro.geometry.topology.Topology`.
+
+    Attributes
+    ----------
+    sentinel_sets:
+        ``sentinel_sets[l]`` is the list of sentinels (cell leaders) at
+        level *l*; every network node appears in exactly one set.
+    level_of:
+        Mapping node -> its sentinel level.
+    quad_parent:
+        Mapping sentinel -> its quadtree parent sentinel (the root maps to
+        itself).
+    quad_children:
+        Mapping sentinel -> list of its quadtree child sentinels.
+    """
+
+    #: Hard depth cap; co-located nodes would otherwise split forever.
+    MAX_DEPTH = 32
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self.root_cell = QuadCell(0, topology.bounds, list(topology.graph.nodes))
+        self.sentinel_sets: list[list[Hashable]] = []
+        self.level_of: dict[Hashable, int] = {}
+        self.quad_parent: dict[Hashable, Hashable] = {}
+        self.quad_children: dict[Hashable, list[Hashable]] = {}
+        self._cells_by_level: list[list[QuadCell]] = [[self.root_cell]]
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        positions = self.topology.positions
+        assigned: set[Hashable] = set()
+        level = 0
+        current = [self.root_cell]
+        while current:
+            leaders: list[Hashable] = []
+            for cell in current:
+                unelected = [v for v in cell.members if v not in assigned]
+                if not unelected:
+                    continue
+                if level >= self.MAX_DEPTH:
+                    # Depth cap: flush every remaining node as a sentinel of
+                    # this final level (footnote 2's "+k" tolerance).
+                    for node in sorted(unelected, key=repr):
+                        leaders.append(node)
+                        assigned.add(node)
+                        self.level_of[node] = level
+                        self._attach_parent(node, cell)
+                    continue
+                leader = self._closest_to(cell.centroid, unelected, positions)
+                cell.leader = leader
+                leaders.append(leader)
+                assigned.add(leader)
+                self.level_of[leader] = level
+                self._attach_parent(leader, cell)
+            if leaders:
+                self.sentinel_sets.append(leaders)
+            if len(assigned) == len(positions) or level >= self.MAX_DEPTH:
+                break
+            current = self._subdivide(current)
+            if current:
+                self._cells_by_level.append(current)
+            level += 1
+        # Sanity: every node must have been elected at some level.
+        if len(assigned) != len(positions):
+            missing = set(positions) - assigned
+            raise RuntimeError(f"quadtree failed to assign nodes: {sorted(missing, key=repr)[:5]}")
+
+    def _attach_parent(self, leader: Hashable, cell: QuadCell) -> None:
+        parent_cell = cell.parent
+        while parent_cell is not None and parent_cell.leader is None:
+            parent_cell = parent_cell.parent
+        parent = parent_cell.leader if parent_cell is not None else leader
+        self.quad_parent[leader] = parent
+        if parent != leader:
+            self.quad_children.setdefault(parent, []).append(leader)
+        self.quad_children.setdefault(leader, [])
+
+    @staticmethod
+    def _closest_to(centroid, candidates, positions) -> Hashable:
+        cx, cy = centroid
+        return min(
+            candidates,
+            key=lambda v: ((positions[v][0] - cx) ** 2 + (positions[v][1] - cy) ** 2, repr(v)),
+        )
+
+    def _subdivide(self, cells: list[QuadCell]) -> list[QuadCell]:
+        positions = self.topology.positions
+        out: list[QuadCell] = []
+        for cell in cells:
+            if not cell.members:
+                continue
+            b = cell.bounds
+            mx, my = b.center
+            quads = [
+                BoundingBox(b.xmin, b.ymin, mx, my),
+                BoundingBox(mx, b.ymin, b.xmax, my),
+                BoundingBox(b.xmin, my, mx, b.ymax),
+                BoundingBox(mx, my, b.xmax, b.ymax),
+            ]
+            buckets: list[list[Hashable]] = [[] for _ in quads]
+            # Each member goes to exactly one quadrant: points on the
+            # splitting lines go to the left/bottom quadrant.
+            for v in cell.members:
+                x, y = positions[v]
+                if x <= mx:
+                    k = 0 if y <= my else 2
+                else:
+                    k = 1 if y <= my else 3
+                buckets[k].append(v)
+            for k, q in enumerate(quads):
+                if buckets[k]:
+                    child = QuadCell(cell.level + 1, q, buckets[k], parent=cell)
+                    cell.children.append(child)
+                    out.append(child)
+        return out
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """α — the index of the deepest non-empty sentinel set."""
+        return len(self.sentinel_sets) - 1
+
+    def sentinels_at(self, level: int) -> list[Hashable]:
+        """Copy of the sentinel list at *level*."""
+        return list(self.sentinel_sets[level])
+
+    def iter_sentinels(self) -> Iterator[tuple[int, Hashable]]:
+        """Yield (level, sentinel) over the whole hierarchy."""
+        for level, sentinels in enumerate(self.sentinel_sets):
+            for s in sentinels:
+                yield level, s
+
+    @property
+    def root(self) -> Hashable:
+        """The level-0 sentinel (quadtree root)."""
+        return self.sentinel_sets[0][0]
+
+    def expected_depth_bound(self) -> float:
+        """The grid-case depth ``log4(3N+1) - 1`` from §3.2."""
+        n = self.topology.num_nodes
+        return math.log(3 * n + 1, 4) - 1
+
+    def __repr__(self) -> str:
+        sizes = [len(s) for s in self.sentinel_sets]
+        return f"QuadTreeDecomposition(depth={self.depth}, level_sizes={sizes})"

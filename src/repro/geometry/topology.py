@@ -1,0 +1,224 @@
+"""Network topologies (paper §8.1).
+
+Three topology families are used by the paper's evaluation:
+
+- a regular grid (the Tao 6×9 buoy array; also the idealized √N × √N grid
+  the complexity analysis assumes),
+- uniform-random geometric graphs with a small average degree (~4 radio
+  neighbours) for the synthetic experiments, and
+- random scatterings over a terrain for the Death Valley experiments.
+
+A :class:`Topology` bundles the communication graph, node positions and the
+bounding box — everything the quadtree decomposition and the simulator need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+import networkx as nx
+import numpy as np
+
+from repro._validation import require_int_at_least, require_positive
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box of node positions."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    @property
+    def width(self) -> float:
+        """Box width."""
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        """Box height."""
+        return self.ymax - self.ymin
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Box centre point."""
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether (x, y) lies inside the box."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+
+@dataclass
+class Topology:
+    """A communication graph with node positions.
+
+    Attributes
+    ----------
+    graph:
+        The communication graph *CG*.
+    positions:
+        Mapping node id -> (x, y).
+    """
+
+    graph: nx.Graph
+    positions: dict[Hashable, tuple[float, float]]
+    _bounds: BoundingBox | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        missing = set(self.graph.nodes) - set(self.positions)
+        if missing:
+            raise ValueError(f"positions missing for nodes: {sorted(missing, key=repr)[:5]}")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the communication graph."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """Square bounding box of the node positions (quadtrees want squares)."""
+        if self._bounds is None:
+            xs = [p[0] for p in self.positions.values()]
+            ys = [p[1] for p in self.positions.values()]
+            xmin, xmax = min(xs), max(xs)
+            ymin, ymax = min(ys), max(ys)
+            side = max(xmax - xmin, ymax - ymin)
+            # Inflate the shorter axis symmetrically so the box is square;
+            # degenerate (single-point) topologies get a unit box.
+            if side == 0:
+                side = 1.0
+            cx, cy = (xmin + xmax) / 2.0, (ymin + ymax) / 2.0
+            half = side / 2.0
+            self._bounds = BoundingBox(cx - half, cy - half, cx + half, cy + half)
+        return self._bounds
+
+    def average_degree(self) -> float:
+        """Mean node degree of the communication graph."""
+        n = self.graph.number_of_nodes()
+        return 2.0 * self.graph.number_of_edges() / n if n else 0.0
+
+    def is_connected(self) -> bool:
+        """Whether the communication graph is connected."""
+        return self.num_nodes > 0 and nx.is_connected(self.graph)
+
+
+def grid_topology(rows: int, cols: int, *, spacing: float = 1.0) -> Topology:
+    """A rows × cols grid with 4-neighbourhood links (node ids ``r*cols+c``).
+
+    This is the Tao buoy layout (6×9) and the idealized analysis topology.
+    """
+    require_int_at_least(rows, 1, "rows")
+    require_int_at_least(cols, 1, "cols")
+    require_positive(spacing, "spacing")
+    graph = nx.Graph()
+    positions: dict[Hashable, tuple[float, float]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            graph.add_node(node)
+            positions[node] = (c * spacing, r * spacing)
+            if c > 0:
+                graph.add_edge(node, node - 1)
+            if r > 0:
+                graph.add_edge(node, node - cols)
+    return Topology(graph, positions)
+
+
+def random_geometric_topology(
+    n: int,
+    *,
+    seed: int,
+    density: float = 0.8,
+    target_degree: float = 4.0,
+    radio_range: float | None = None,
+    connect: bool = True,
+) -> Topology:
+    """Uniform-random node placement with radio-range links (paper §8.1).
+
+    Nodes are placed uniformly in a square sized so the node density matches
+    *density* (paper: 0.7–0.9 nodes per unit area).  Unless *radio_range* is
+    given, the range is chosen so the expected neighbour count is
+    *target_degree* (paper: ~4 nodes within radio range).
+
+    With *connect* (default), disconnected components are stitched together
+    by linking the closest pair of nodes across components — physically this
+    models a slightly larger transmit power for the handful of fringe nodes,
+    and keeps every experiment on one connected network (the paper implicitly
+    assumes a connected *CG*).
+    """
+    require_int_at_least(n, 1, "n")
+    require_positive(density, "density")
+    require_positive(target_degree, "target_degree")
+    rng = np.random.default_rng(seed)
+    side = math.sqrt(n / density)
+    coords = rng.uniform(0.0, side, size=(n, 2))
+    if radio_range is None:
+        # Expected neighbours of a node = (n-1) * pi r^2 / side^2.
+        radio_range = side * math.sqrt(target_degree / (math.pi * max(n - 1, 1)))
+    else:
+        require_positive(radio_range, "radio_range")
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    positions = {i: (float(coords[i, 0]), float(coords[i, 1])) for i in range(n)}
+    # O(n^2) range test is fine at the paper's scales (<= a few thousand).
+    for i in range(n):
+        deltas = coords[i + 1 :] - coords[i]
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        for offset in np.nonzero(dists <= radio_range)[0]:
+            graph.add_edge(i, i + 1 + int(offset))
+
+    if connect and n > 1:
+        _stitch_components(graph, coords)
+    return Topology(graph, positions)
+
+
+def scatter_topology(
+    points: Mapping[Hashable, tuple[float, float]],
+    *,
+    radio_range: float,
+    connect: bool = True,
+) -> Topology:
+    """Build a topology from explicit node positions and a radio range."""
+    require_positive(radio_range, "radio_range")
+    ids = list(points)
+    if not ids:
+        raise ValueError("points must be non-empty")
+    coords = np.asarray([points[i] for i in ids], dtype=np.float64)
+    graph = nx.Graph()
+    graph.add_nodes_from(ids)
+    for a in range(len(ids)):
+        deltas = coords[a + 1 :] - coords[a]
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        for offset in np.nonzero(dists <= radio_range)[0]:
+            graph.add_edge(ids[a], ids[a + 1 + int(offset)])
+    if connect and len(ids) > 1:
+        _stitch_components(graph, coords, ids=ids)
+    positions = {i: (float(points[i][0]), float(points[i][1])) for i in ids}
+    return Topology(graph, positions)
+
+
+def _stitch_components(graph: nx.Graph, coords: np.ndarray, ids: list | None = None) -> None:
+    """Connect graph components by linking nearest cross-component node pairs."""
+    if ids is None:
+        ids = list(range(coords.shape[0]))
+    index_of = {node: k for k, node in enumerate(ids)}
+    while True:
+        components = list(nx.connected_components(graph))
+        if len(components) <= 1:
+            return
+        # Link the largest component to the closest node outside it.
+        components.sort(key=len, reverse=True)
+        core = components[0]
+        core_idx = np.asarray([index_of[v] for v in core])
+        rest = [v for comp in components[1:] for v in comp]
+        rest_idx = np.asarray([index_of[v] for v in rest])
+        diffs = coords[core_idx][:, None, :] - coords[rest_idx][None, :, :]
+        dists = np.hypot(diffs[..., 0], diffs[..., 1])
+        a, b = np.unravel_index(np.argmin(dists), dists.shape)
+        graph.add_edge(ids[core_idx[a]], ids[rest_idx[b]])

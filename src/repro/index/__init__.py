@@ -1,0 +1,12 @@
+"""Distributed index structures built on the clustering (paper §7.1–7.2)."""
+
+from repro.index.backbone import BackboneTree, build_backbone
+from repro.index.mtree import MTreeIndex, build_mtree, verify_covering_invariant
+
+__all__ = [
+    "BackboneTree",
+    "MTreeIndex",
+    "build_backbone",
+    "build_mtree",
+    "verify_covering_invariant",
+]

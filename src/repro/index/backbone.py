@@ -1,0 +1,90 @@
+"""Inter-cluster leader backbone tree (paper §7.2).
+
+A spanning tree connecting the roots of all clusters, used to route
+queries from any cluster root to every other cluster root.  We build the
+minimum-hop spanning tree over the *cluster adjacency graph* (two clusters
+are adjacent when a communication edge crosses their boundary), weighting
+each adjacency by the leader-to-leader hop distance in the communication
+graph, and we remember the concrete hop path for every backbone edge so
+query routing can be charged exactly.
+
+The paper accounts the backbone construction cost to ELink; the cost here
+is one handshake (2 control values) per hop of every backbone edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.delta import Clustering
+from repro.sim.messages import Message
+from repro.sim.stats import MessageStats
+
+
+@dataclass
+class BackboneTree:
+    """Spanning tree over cluster roots with per-edge routing paths."""
+
+    tree: nx.Graph  # nodes are cluster roots
+    paths: dict[tuple[Hashable, Hashable], Sequence[Hashable]]
+    build_messages: int = 0
+    stats: MessageStats = field(default_factory=MessageStats)
+
+    def path(self, a: Hashable, b: Hashable) -> Sequence[Hashable]:
+        """Hop path of backbone edge (a, b)."""
+        if (a, b) in self.paths:
+            return self.paths[(a, b)]
+        return list(reversed(self.paths[(b, a)]))
+
+    def edge_hops(self, a: Hashable, b: Hashable) -> int:
+        """Hop length of backbone edge (a, b)."""
+        return len(self.path(a, b)) - 1
+
+    def neighbors(self, root: Hashable):
+        """Neighbours in the underlying structure."""
+        return self.tree.neighbors(root)
+
+
+def build_backbone(graph: nx.Graph, clustering: Clustering) -> BackboneTree:
+    """Build the leader backbone tree (see module docstring)."""
+    roots = clustering.roots
+    stats = MessageStats()
+    if len(roots) == 1:
+        return BackboneTree(_single(roots[0]), {}, 0, stats)
+
+    adjacency = nx.Graph()
+    adjacency.add_nodes_from(roots)
+    assignment = clustering.assignment
+    for a, b in graph.edges:
+        ra, rb = assignment[a], assignment[b]
+        if ra != rb:
+            adjacency.add_edge(ra, rb)
+    if not nx.is_connected(adjacency):
+        # The communication graph is connected, so cluster adjacency must
+        # be too; a disconnect indicates a broken clustering.
+        raise ValueError("cluster adjacency graph is disconnected")
+
+    for ra, rb in adjacency.edges:
+        adjacency[ra][rb]["weight"] = nx.shortest_path_length(graph, ra, rb)
+    mst = nx.minimum_spanning_tree(adjacency, weight="weight")
+
+    paths: dict[tuple[Hashable, Hashable], Sequence[Hashable]] = {}
+    for ra, rb in mst.edges:
+        path = nx.shortest_path(graph, ra, rb)
+        paths[(ra, rb)] = path
+        # Handshake: 2 control values per hop of the backbone edge.
+        stats.record(Message("feature", ra, rb, values=2), hops=len(path) - 1)
+
+    tree = nx.Graph()
+    tree.add_nodes_from(roots)
+    tree.add_edges_from(mst.edges)
+    return BackboneTree(tree, paths, stats.total_values, stats)
+
+
+def _single(root: Hashable) -> nx.Graph:
+    tree = nx.Graph()
+    tree.add_node(root)
+    return tree

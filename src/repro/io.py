@@ -1,0 +1,161 @@
+"""Saving and loading clusterings, topologies and features (JSON).
+
+A deployment clusters once and answers queries for days, possibly across
+base-station restarts, so the artifacts need to survive a process:
+
+- :func:`save_state` / :func:`load_state` round-trip a
+  :class:`~repro.core.delta.Clustering` together with its topology and
+  feature map through a single JSON document.
+
+Node ids are serialized with a small tagged encoding (ints, strings and
+tuples of those survive the round trip; other id types are rejected with
+a clear error rather than silently stringified).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Hashable
+
+import networkx as nx
+import numpy as np
+
+from repro.core.delta import Clustering
+from repro.geometry.topology import Topology
+
+FORMAT_VERSION = 1
+
+
+def _encode_id(node: Hashable) -> Any:
+    if isinstance(node, bool) or node is None:
+        raise TypeError(f"unsupported node id {node!r}")
+    if isinstance(node, (int, str)):
+        return node
+    if isinstance(node, float) and float(node).is_integer():
+        return int(node)
+    if isinstance(node, tuple):
+        return {"__tuple__": [_encode_id(part) for part in node]}
+    raise TypeError(
+        f"unsupported node id type {type(node).__name__!r}; "
+        "use ints, strings, or tuples of those"
+    )
+
+
+def _decode_id(value: Any) -> Hashable:
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_id(part) for part in value["__tuple__"])
+    return value
+
+
+def clustering_to_dict(clustering: Clustering) -> dict:
+    """Plain-dict form of a clustering (JSON-ready)."""
+    return {
+        "assignment": [
+            [_encode_id(node), _encode_id(root)]
+            for node, root in sorted(clustering.assignment.items(), key=lambda kv: repr(kv[0]))
+        ],
+        "parent": [
+            [_encode_id(node), _encode_id(parent)]
+            for node, parent in sorted(clustering.parent.items(), key=lambda kv: repr(kv[0]))
+        ],
+        "root_features": [
+            [_encode_id(root), np.asarray(feature, dtype=float).tolist()]
+            for root, feature in sorted(
+                clustering.root_features.items(), key=lambda kv: repr(kv[0])
+            )
+        ],
+    }
+
+
+def clustering_from_dict(payload: dict) -> Clustering:
+    """Inverse of :func:`clustering_to_dict`."""
+    try:
+        assignment = {_decode_id(n): _decode_id(r) for n, r in payload["assignment"]}
+        parent = {_decode_id(n): _decode_id(p) for n, p in payload["parent"]}
+        root_features = {
+            _decode_id(r): np.asarray(f, dtype=np.float64)
+            for r, f in payload["root_features"]
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed clustering payload: {exc}") from exc
+    return Clustering(assignment, parent, root_features)
+
+
+def topology_to_dict(topology: Topology) -> dict:
+    """Plain-dict form of a topology (JSON-ready)."""
+    return {
+        "nodes": [_encode_id(v) for v in sorted(topology.graph.nodes, key=repr)],
+        "edges": [
+            [_encode_id(a), _encode_id(b)]
+            for a, b in sorted(topology.graph.edges, key=lambda e: (repr(e[0]), repr(e[1])))
+        ],
+        "positions": [
+            [_encode_id(v), list(map(float, topology.positions[v]))]
+            for v in sorted(topology.positions, key=repr)
+        ],
+    }
+
+
+def topology_from_dict(payload: dict) -> Topology:
+    """Inverse of :func:`topology_to_dict`."""
+    try:
+        graph = nx.Graph()
+        graph.add_nodes_from(_decode_id(v) for v in payload["nodes"])
+        graph.add_edges_from((_decode_id(a), _decode_id(b)) for a, b in payload["edges"])
+        positions = {
+            _decode_id(v): (float(x), float(y)) for v, (x, y) in payload["positions"]
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed topology payload: {exc}") from exc
+    return Topology(graph, positions)
+
+
+def save_state(
+    path: str | Path,
+    *,
+    topology: Topology,
+    features: dict[Hashable, np.ndarray],
+    clustering: Clustering | None = None,
+    metadata: dict | None = None,
+) -> None:
+    """Write topology + features (+ clustering) to *path* as JSON."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "topology": topology_to_dict(topology),
+        "features": [
+            [_encode_id(v), np.asarray(f, dtype=float).tolist()]
+            for v, f in sorted(features.items(), key=lambda kv: repr(kv[0]))
+        ],
+        "metadata": metadata or {},
+    }
+    if clustering is not None:
+        document["clustering"] = clustering_to_dict(clustering)
+    Path(path).write_text(json.dumps(document))
+
+
+def load_state(
+    path: str | Path,
+) -> tuple[Topology, dict[Hashable, np.ndarray], Clustering | None, dict]:
+    """Read back what :func:`save_state` wrote.
+
+    Returns ``(topology, features, clustering_or_None, metadata)``.
+    """
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    topology = topology_from_dict(document["topology"])
+    features = {
+        _decode_id(v): np.asarray(f, dtype=np.float64) for v, f in document["features"]
+    }
+    clustering = (
+        clustering_from_dict(document["clustering"]) if "clustering" in document else None
+    )
+    return topology, features, clustering, document.get("metadata", {})

@@ -1,0 +1,15 @@
+"""Data models fitted at each sensor node (paper §2.2, §8.1, Appendix A)."""
+
+from repro.models.ar import ARModel, fit_ar, lagged_design
+from repro.models.rls import RecursiveLeastSquares
+from repro.models.seasonal import SEASONAL_LAGS, TAO_FEATURE_DIM, TaoNodeModel
+
+__all__ = [
+    "ARModel",
+    "RecursiveLeastSquares",
+    "SEASONAL_LAGS",
+    "TAO_FEATURE_DIM",
+    "TaoNodeModel",
+    "fit_ar",
+    "lagged_design",
+]

@@ -1,0 +1,84 @@
+"""Auto-regressive model fitting (paper §2.2).
+
+Each sensor node regresses its local time series to an AR(k) model
+
+    x_t = a_1 x_{t-1} + ... + a_k x_{t-k} + e_t
+
+whose coefficient vector is the node's *feature*.  Fitting is ordinary
+least squares on the lagged design matrix: with ``Y`` the column of
+observed values and ``X`` the k × m matrix of lagged explanatory
+variables, ``a_hat = (X X^T)^{-1} X Y`` (the paper's normal-equation
+form; we solve it with ``lstsq`` for numerical robustness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import require_int_at_least
+
+
+@dataclass(frozen=True)
+class ARModel:
+    """A fitted AR(k) model."""
+
+    coefficients: np.ndarray  # a_1 ... a_k
+    noise_variance: float
+
+    @property
+    def order(self) -> int:
+        """Model order k."""
+        return int(self.coefficients.shape[0])
+
+    def predict_next(self, history: np.ndarray) -> float:
+        """One-step-ahead prediction from the last *k* values of *history*."""
+        history = np.asarray(history, dtype=np.float64)
+        k = self.order
+        if history.shape[0] < k:
+            raise ValueError(f"need at least {k} history values, got {history.shape[0]}")
+        lags = history[-1 : -k - 1 : -1]  # x_{t-1}, x_{t-2}, ..., x_{t-k}
+        return float(np.dot(self.coefficients, lags))
+
+    def simulate(self, initial: np.ndarray, steps: int, rng: np.random.Generator) -> np.ndarray:
+        """Generate *steps* values continuing *initial* with Gaussian noise."""
+        require_int_at_least(steps, 1, "steps")
+        history = list(np.asarray(initial, dtype=np.float64))
+        if len(history) < self.order:
+            raise ValueError(f"initial history must have >= {self.order} values")
+        sigma = np.sqrt(max(self.noise_variance, 0.0))
+        out = np.empty(steps, dtype=np.float64)
+        for t in range(steps):
+            value = self.predict_next(np.asarray(history)) + rng.normal(0.0, sigma)
+            out[t] = value
+            history.append(value)
+        return out
+
+
+def lagged_design(series: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Build the regression pair (X, y) for an AR(*order*) fit.
+
+    Row *t* of X holds ``(x_{t-1}, ..., x_{t-k})``; y holds ``x_t``.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    k = require_int_at_least(order, 1, "order")
+    if series.ndim != 1:
+        raise ValueError("series must be 1-d")
+    m = series.shape[0] - k
+    if m < 1:
+        raise ValueError(f"series of length {series.shape[0]} too short for AR({k})")
+    design = np.empty((m, k), dtype=np.float64)
+    for lag in range(1, k + 1):
+        design[:, lag - 1] = series[k - lag : k - lag + m]
+    targets = series[k:]
+    return design, targets
+
+
+def fit_ar(series: np.ndarray, order: int) -> ARModel:
+    """Fit an AR(*order*) model to *series* by least squares."""
+    design, targets = lagged_design(series, order)
+    coeffs, *_ = np.linalg.lstsq(design, targets, rcond=None)
+    residuals = targets - design @ coeffs
+    dof = max(targets.shape[0] - order, 1)
+    return ARModel(coefficients=coeffs, noise_variance=float(residuals @ residuals) / dof)

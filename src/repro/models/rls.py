@@ -1,0 +1,108 @@
+"""Recursive least squares — online model updates (paper Appendix A).
+
+When a new measurement arrives, a node updates its regression coefficients
+without refitting from scratch, using the rank-one recursions (eq. 6–8):
+
+    b_k = b_{k-1} + x_k y_k
+    P_k = P_{k-1} - P_{k-1} x_k [1 + x_k^T P_{k-1} x_k]^{-1} x_k^T P_{k-1}
+    a_k = a_{k-1} - P_k (x_k x_k^T a_{k-1} - x_k y_k)
+
+where ``P`` tracks ``(X X^T)^{-1}``.  The update is O(k²) per measurement —
+the constant-memory, constant-time behaviour the paper relies on for
+in-network modelling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_int_at_least, require_positive
+
+
+class RecursiveLeastSquares:
+    """Online least-squares estimator over a fixed-size regressor vector.
+
+    Parameters
+    ----------
+    order:
+        Dimension k of the regressor vector.
+    initial_coefficients:
+        Starting coefficient estimate (defaults to zeros; the paper's
+        synthetic experiment initializes alpha_1 = 1).
+    initial_p_scale:
+        ``P_0 = initial_p_scale * I``.  Large values mean low confidence in
+        the initial coefficients, so early observations dominate.
+    """
+
+    def __init__(
+        self,
+        order: int,
+        *,
+        initial_coefficients: np.ndarray | None = None,
+        initial_p_scale: float = 1e4,
+    ):
+        self.order = require_int_at_least(order, 1, "order")
+        require_positive(initial_p_scale, "initial_p_scale")
+        if initial_coefficients is None:
+            self._coefficients = np.zeros(order, dtype=np.float64)
+        else:
+            coeffs = np.asarray(initial_coefficients, dtype=np.float64)
+            if coeffs.shape != (order,):
+                raise ValueError(f"initial_coefficients must have shape ({order},)")
+            self._coefficients = coeffs.copy()
+        self._p = np.eye(order, dtype=np.float64) * initial_p_scale
+        self._updates = 0
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Current coefficient estimate (a copy; safe to hold)."""
+        return self._coefficients.copy()
+
+    @property
+    def updates(self) -> int:
+        """Number of observations absorbed so far."""
+        return self._updates
+
+    def update(self, regressors: np.ndarray, target: float) -> np.ndarray:
+        """Absorb one observation ``(x_k, y_k)``; returns the new coefficients."""
+        x = np.asarray(regressors, dtype=np.float64)
+        if x.shape != (self.order,):
+            raise ValueError(f"regressors must have shape ({self.order},), got {x.shape}")
+        if not np.all(np.isfinite(x)) or not np.isfinite(target):
+            raise ValueError("regressors and target must be finite")
+        px = self._p @ x
+        gain_denominator = 1.0 + float(x @ px)
+        self._p = self._p - np.outer(px, px) / gain_denominator
+        # Symmetrize to fight numerical drift over long streams.
+        self._p = (self._p + self._p.T) / 2.0
+        prediction_error = float(x @ self._coefficients) - float(target)
+        self._coefficients = self._coefficients - self._p @ (x * prediction_error)
+        self._updates += 1
+        return self.coefficients
+
+    def seed_batch(self, design: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Initialize from a batch fit (the paper's "performed once" step).
+
+        Sets ``P = (X^T X)^{-1}`` (regularized if singular) and the
+        coefficients to the batch least-squares solution, after which
+        :meth:`update` continues incrementally.
+        """
+        design = np.asarray(design, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if design.ndim != 2 or design.shape[1] != self.order:
+            raise ValueError(f"design must be (m, {self.order})")
+        if targets.shape != (design.shape[0],):
+            raise ValueError("targets must align with design rows")
+        gram = design.T @ design
+        # Tikhonov nudge keeps P well-defined for collinear regressors.
+        gram += np.eye(self.order) * 1e-9 * max(np.trace(gram), 1.0)
+        self._p = np.linalg.inv(gram)
+        self._coefficients = self._p @ (design.T @ targets)
+        self._updates += design.shape[0]
+        return self.coefficients
+
+    def __repr__(self) -> str:
+        return (
+            f"RecursiveLeastSquares(order={self.order}, updates={self._updates}, "
+            f"coefficients={np.round(self._coefficients, 4).tolist()})"
+        )

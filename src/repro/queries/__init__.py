@@ -1,0 +1,30 @@
+"""Query processing over the clustered network (paper §7.2–7.3, §8.6)."""
+
+from repro.queries.knn import KnnQueryEngine, KnnResult, brute_force_knn
+from repro.queries.path_query import (
+    PathQueryEngine,
+    PathQueryResult,
+    bfs_flood_path,
+    maximin_safe_path,
+)
+from repro.queries.range_query import (
+    RangeQueryEngine,
+    RangeQueryResult,
+    brute_force_range,
+)
+from repro.queries.tag import TagEngine, TagQueryResult
+
+__all__ = [
+    "KnnQueryEngine",
+    "KnnResult",
+    "PathQueryEngine",
+    "PathQueryResult",
+    "RangeQueryEngine",
+    "RangeQueryResult",
+    "TagEngine",
+    "TagQueryResult",
+    "bfs_flood_path",
+    "brute_force_knn",
+    "brute_force_range",
+    "maximin_safe_path",
+]

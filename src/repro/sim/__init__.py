@@ -1,0 +1,32 @@
+"""Discrete-event sensor-network simulation substrate."""
+
+from repro.sim.energy import EnergyModel
+from repro.sim.kernel import Event, EventKernel
+from repro.sim.radio import LossyLinkModel
+from repro.sim.messages import (
+    CATEGORY_CLUSTERING,
+    CATEGORY_DATA,
+    CATEGORY_QUERY,
+    CATEGORY_SYNC,
+    CATEGORY_UPDATE,
+    Message,
+)
+from repro.sim.network import Network
+from repro.sim.node import ProtocolNode
+from repro.sim.stats import MessageStats
+
+__all__ = [
+    "CATEGORY_CLUSTERING",
+    "CATEGORY_DATA",
+    "CATEGORY_QUERY",
+    "CATEGORY_SYNC",
+    "CATEGORY_UPDATE",
+    "EnergyModel",
+    "Event",
+    "EventKernel",
+    "LossyLinkModel",
+    "Message",
+    "MessageStats",
+    "Network",
+    "ProtocolNode",
+]

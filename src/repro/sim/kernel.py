@@ -1,0 +1,129 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event-heap scheduler in the spirit of SimPy's core
+(SimPy itself is not available offline).  Everything in the sensor-network
+substrate — message delivery, protocol timers, the implicit-signalling
+schedule of ELink — runs as callbacks on one :class:`EventKernel`.
+
+Determinism: events firing at the same timestamp run in scheduling order
+(FIFO), enforced by a monotonically increasing sequence number used as the
+heap tie-breaker.  This makes every protocol run reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro._validation import require_non_negative
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`EventKernel.schedule`.
+
+    The only supported mutation is :meth:`cancel`, which marks the event so
+    the kernel skips it when it reaches the head of the heap (lazy deletion).
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}, {name}, {state})"
+
+
+class EventKernel:
+    """Deterministic event-heap scheduler.
+
+    Usage::
+
+        kernel = EventKernel()
+        kernel.schedule(5.0, handler, arg1, arg2)
+        kernel.run()          # drain all events
+        kernel.now            # time of the last executed event
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._events_executed = 0
+
+    @property
+    def events_executed(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback(*args)* to run ``delay`` time units from now."""
+        require_non_negative(delay, "delay")
+        event = Event(self.now + delay, callback, args)
+        heapq.heappush(self._heap, (event.time, next(self._sequence), event))
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback(*args)* at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < now={self.now}")
+        return self.schedule(time - self.now, callback, *args)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Execute events in time order.
+
+        Stops when the heap is empty, when the next event is later than
+        ``until``, or after ``max_events`` events (a runaway-protocol guard).
+        Returns the kernel time afterwards.
+        """
+        executed = 0
+        while self._heap:
+            time, _, event = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"kernel exceeded max_events={max_events}; "
+                    "a protocol is probably not terminating"
+                )
+            self.now = time
+            event.callback(*event.args)
+            executed += 1
+            self._events_executed += 1
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def step(self) -> bool:
+        """Execute the single next pending event.  Returns False if none."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+            self._events_executed += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"EventKernel(now={self.now:.3f}, pending={self.pending})"

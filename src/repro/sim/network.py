@@ -1,0 +1,237 @@
+"""Sensor-network message-passing substrate.
+
+The :class:`Network` wraps a communication graph (``networkx.Graph``) and an
+:class:`~repro.sim.kernel.EventKernel`.  It delivers messages between
+registered node objects with a fixed per-hop delay (the paper's §4 cost
+model: "the worst-case delay over a hop is a single time unit") and charges
+every transmission to a :class:`~repro.sim.stats.MessageStats` accumulator.
+
+Delivery modes:
+
+- :meth:`send` — single-hop unicast to a direct neighbour (cluster
+  expansion and cluster-tree traffic always moves along graph edges).
+- :meth:`route` — multi-hop unicast along a shortest path (quadtree
+  signalling, query routing to cluster roots, update handling).  Charged
+  ``values × hops``.
+- :meth:`route_along` — multi-hop unicast along an explicit node path
+  (cluster-tree root walks, backbone-tree edges).
+- :meth:`broadcast` — one copy to every neighbour.
+
+Nodes are any object with a ``handle_message(message)`` method, registered
+via :meth:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Protocol, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro._validation import require_positive
+from repro.sim.energy import EnergyModel
+from repro.sim.kernel import EventKernel
+from repro.sim.messages import Message
+from repro.sim.radio import LossyLinkModel
+from repro.sim.stats import MessageStats
+
+
+class MessageHandler(Protocol):
+    """Anything that can receive messages from the network."""
+
+    def handle_message(self, message: Message) -> None:
+        """Deliver *message* to this endpoint."""
+        ...
+
+
+class Network:
+    """Message-passing layer over a communication graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph *CG*.  Nodes are arbitrary hashables.
+    kernel:
+        The event kernel driving delivery; a fresh one is created if omitted.
+    hop_delay:
+        Simulated time for one hop (default 1.0, the paper's unit delay).
+    jitter:
+        Asynchrony: each hop takes ``hop_delay * (1 + U(0, jitter))``
+        (default 0 — the paper's synchronous unit-delay model).
+    energy:
+        Optional :class:`~repro.sim.energy.EnergyModel` charged per hop.
+    loss:
+        Optional :class:`~repro.sim.radio.LossyLinkModel`; failed hop
+        transmissions are retransmitted (ARQ), inflating cost and delay.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        kernel: EventKernel | None = None,
+        *,
+        hop_delay: float = 1.0,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+        energy: "EnergyModel | None" = None,
+        loss: "LossyLinkModel | None" = None,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("communication graph must have at least one node")
+        self.graph = graph
+        self.kernel = kernel if kernel is not None else EventKernel()
+        self.hop_delay = require_positive(hop_delay, "hop_delay")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        #: Asynchrony: each hop takes hop_delay * (1 + U(0, jitter)).  The
+        #: paper's implicit timers absorb jitter only up to the stretch
+        #: factor γ; explicit signalling is correct for any jitter.
+        self.jitter = jitter
+        self._jitter_rng = np.random.default_rng(jitter_seed)
+        self.stats = MessageStats()
+        self.energy = energy
+        self.loss = loss
+        self._handlers: dict[Hashable, MessageHandler] = {}
+        self._sp_cache: dict[Hashable, dict[Hashable, Sequence[Hashable]]] = {}
+
+    @property
+    def max_hop_delay(self) -> float:
+        """Worst-case single-transmission delay under the jitter model."""
+        return self.hop_delay * (1.0 + self.jitter)
+
+    def _sample_hop_delay(self) -> float:
+        if self.jitter == 0.0:
+            return self.hop_delay
+        return self.hop_delay * (1.0 + float(self._jitter_rng.uniform(0.0, self.jitter)))
+
+    def _hop_cost(self, sender: Hashable, receiver: Hashable, message: Message) -> int:
+        """Charge one hop (with retransmissions under loss); returns the
+        number of transmission attempts used for delay accounting."""
+        attempts = self.loss.attempts_for_hop() if self.loss is not None else 1
+        self.stats.record(message, hops=attempts)
+        if self.energy is not None:
+            # Every attempt burns TX at the sender; only the successful
+            # one is received.
+            for _ in range(attempts - 1):
+                self.energy.spent[sender] = (
+                    self.energy.spent.get(sender, 0.0)
+                    + message.values * self.energy.tx_per_value
+                )
+            self.energy.charge_hop(sender, receiver, message.values)
+        return attempts
+
+    # ------------------------------------------------------------------
+    # node registry
+    # ------------------------------------------------------------------
+    def register(self, node_id: Hashable, handler: MessageHandler) -> None:
+        """Attach *handler* as the protocol endpoint for *node_id*."""
+        if node_id not in self.graph:
+            raise KeyError(f"node {node_id!r} is not in the communication graph")
+        self._handlers[node_id] = handler
+
+    def handler(self, node_id: Hashable) -> MessageHandler:
+        """The registered handler for *node_id*."""
+        try:
+            return self._handlers[node_id]
+        except KeyError:
+            raise KeyError(f"no handler registered for node {node_id!r}") from None
+
+    def neighbors(self, node_id: Hashable) -> Iterable[Hashable]:
+        """Neighbours in the underlying structure."""
+        return self.graph.neighbors(node_id)
+
+    def degree(self, node_id: Hashable) -> int:
+        """Degree of *node_id* in the communication graph."""
+        return self.graph.degree(node_id)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Unicast *message* one hop to a direct neighbour of its source."""
+        if not self.graph.has_edge(message.src, message.dst):
+            raise ValueError(
+                f"send() requires adjacency: {message.src!r} -> {message.dst!r} "
+                "is not an edge; use route() for multi-hop delivery"
+            )
+        attempts = self._hop_cost(message.src, message.dst, message)
+        delay = sum(self._sample_hop_delay() for _ in range(attempts))
+        self.kernel.schedule(delay, self._deliver, message)
+
+    def broadcast(self, src: Hashable, make_message) -> int:
+        """Send ``make_message(neighbor)`` to every neighbour of *src*.
+
+        *make_message* is a callable so each copy can carry its own ``dst``.
+        Returns the number of copies sent.
+        """
+        count = 0
+        for neighbor in self.graph.neighbors(src):
+            self.send(make_message(neighbor))
+            count += 1
+        return count
+
+    def route(self, message: Message) -> int:
+        """Deliver *message* along a shortest path; returns the hop count.
+
+        Cost: ``values × hops``; delay: ``hops × hop_delay``.  A message to
+        self is free and delivered after one delay unit (processing time).
+        """
+        path = self.shortest_path(message.src, message.dst)
+        return self._traverse(path, message)
+
+    def route_along(self, path: Sequence[Hashable], message: Message) -> int:
+        """Deliver *message* along an explicit *path* (src ... dst).
+
+        The path must start at ``message.src``, end at ``message.dst`` and
+        follow graph edges.  Returns the hop count.
+        """
+        if not path or path[0] != message.src or path[-1] != message.dst:
+            raise ValueError("path must run from message.src to message.dst")
+        for a, b in zip(path, path[1:]):
+            if not self.graph.has_edge(a, b):
+                raise ValueError(f"path step {a!r} -> {b!r} is not a graph edge")
+        return self._traverse(path, message)
+
+    def _traverse(self, path: Sequence[Hashable], message: Message) -> int:
+        """Charge and deliver along *path*; returns the hop count."""
+        hops = len(path) - 1
+        if hops == 0:
+            self.kernel.schedule(self.hop_delay, self._deliver, message)
+            return 0
+        delay = 0.0
+        for a, b in zip(path, path[1:]):
+            attempts = self._hop_cost(a, b, message)
+            delay += sum(self._sample_hop_delay() for _ in range(attempts))
+        self.kernel.schedule(delay, self._deliver, message)
+        return hops
+
+    def _deliver(self, message: Message) -> None:
+        self.handler(message.dst).handle_message(message)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def shortest_path(self, src: Hashable, dst: Hashable) -> Sequence[Hashable]:
+        """Shortest path from *src* to *dst* (cached per source)."""
+        cache = self._sp_cache.get(src)
+        if cache is None:
+            cache = nx.single_source_shortest_path(self.graph, src)
+            self._sp_cache[src] = cache
+        try:
+            return cache[dst]
+        except KeyError:
+            raise nx.NetworkXNoPath(f"no path from {src!r} to {dst!r}") from None
+
+    def hop_distance(self, src: Hashable, dst: Hashable) -> int:
+        """Shortest-path hop count between two nodes."""
+        return len(self.shortest_path(src, dst)) - 1
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain the event kernel (convenience passthrough)."""
+        return self.kernel.run(until=until, max_events=max_events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(nodes={self.graph.number_of_nodes()}, "
+            f"edges={self.graph.number_of_edges()}, t={self.kernel.now:.2f})"
+        )

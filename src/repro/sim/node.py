@@ -1,0 +1,75 @@
+"""Base class for protocol node runtimes.
+
+A :class:`ProtocolNode` owns a node id, a reference to the network, and a
+feature value; it dispatches incoming messages to ``handle_<kind>`` methods
+and provides timer helpers.  ELink nodes, spanning-forest nodes and query
+processors all build on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.sim.kernel import Event
+from repro.sim.messages import Message
+from repro.sim.network import Network
+
+
+class ProtocolNode:
+    """A sensor node participating in a message-driven protocol.
+
+    Subclasses implement ``handle_<kind>(message)`` methods for each message
+    kind they understand; unknown kinds raise so protocol bugs surface
+    immediately instead of being silently dropped.
+    """
+
+    def __init__(self, node_id: Hashable, network: Network, feature: np.ndarray):
+        self.node_id = node_id
+        self.network = network
+        self.feature = feature
+        network.register(node_id, self)
+
+    # ------------------------------------------------------------------
+    # messaging helpers
+    # ------------------------------------------------------------------
+    def send(self, dst: Hashable, kind: str, payload: Any = None, *, values: int = 1) -> None:
+        """Single-hop unicast to a direct neighbour."""
+        self.network.send(Message(kind, self.node_id, dst, payload, values))
+
+    def route(self, dst: Hashable, kind: str, payload: Any = None, *, values: int = 1) -> None:
+        """Multi-hop unicast along a shortest path."""
+        self.network.route(Message(kind, self.node_id, dst, payload, values))
+
+    def broadcast(self, kind: str, payload: Any = None, *, values: int = 1) -> int:
+        """Send a copy to every neighbour; returns the number of copies."""
+        return self.network.broadcast(
+            self.node_id,
+            lambda neighbor: Message(kind, self.node_id, neighbor, payload, values),
+        )
+
+    def set_timer(self, delay: float, callback, *args) -> Event:
+        """Schedule *callback* on the shared kernel; returns a cancellable event."""
+        return self.network.kernel.schedule(delay, callback, *args)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.network.kernel.now
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        """Deliver *message* to this endpoint."""
+        handler = getattr(self, f"handle_{message.kind}", None)
+        if handler is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} (node {self.node_id!r}) has no handler "
+                f"for message kind {message.kind!r}"
+            )
+        handler(message)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.node_id!r})"

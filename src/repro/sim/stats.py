@@ -1,0 +1,81 @@
+"""Communication statistics collected by the network layer.
+
+Two complementary counters are kept per message kind and per category:
+
+- ``packets`` — number of point-to-point transmissions (one per hop), and
+- ``values``  — the paper's metric: scalar values carried × hops travelled.
+
+Experiments report ``values`` totals; ``packets`` is useful for debugging
+and for the complexity checks (Theorems 2–3 bound packet counts).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.sim.messages import Message
+
+
+@dataclass
+class MessageStats:
+    """Mutable accumulator of communication costs."""
+
+    packets_by_kind: Counter = field(default_factory=Counter)
+    values_by_kind: Counter = field(default_factory=Counter)
+    packets_by_category: Counter = field(default_factory=Counter)
+    values_by_category: Counter = field(default_factory=Counter)
+
+    def record(self, message: Message, hops: int = 1) -> None:
+        """Charge *message* for travelling *hops* hops."""
+        if hops < 1:
+            raise ValueError(f"hops must be >= 1, got {hops}")
+        self.packets_by_kind[message.kind] += hops
+        self.values_by_kind[message.kind] += hops * message.values
+        self.packets_by_category[message.category] += hops
+        self.values_by_category[message.category] += hops * message.values
+
+    @property
+    def total_packets(self) -> int:
+        """Point-to-point transmissions recorded (one per hop)."""
+        return sum(self.packets_by_kind.values())
+
+    @property
+    def total_values(self) -> int:
+        """The paper's "number of messages" (single-value messages × hops)."""
+        return sum(self.values_by_kind.values())
+
+    def category_values(self, category: str) -> int:
+        """Value-messages recorded under *category*."""
+        return self.values_by_category.get(category, 0)
+
+    def snapshot(self) -> "MessageStats":
+        """Return an independent copy of the current counters."""
+        return MessageStats(
+            packets_by_kind=Counter(self.packets_by_kind),
+            values_by_kind=Counter(self.values_by_kind),
+            packets_by_category=Counter(self.packets_by_category),
+            values_by_category=Counter(self.values_by_category),
+        )
+
+    def diff(self, earlier: "MessageStats") -> "MessageStats":
+        """Return the costs incurred since *earlier* (a prior snapshot)."""
+        return MessageStats(
+            packets_by_kind=self.packets_by_kind - earlier.packets_by_kind,
+            values_by_kind=self.values_by_kind - earlier.values_by_kind,
+            packets_by_category=self.packets_by_category - earlier.packets_by_category,
+            values_by_category=self.values_by_category - earlier.values_by_category,
+        )
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self.packets_by_kind.clear()
+        self.values_by_kind.clear()
+        self.packets_by_category.clear()
+        self.values_by_category.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageStats(values={self.total_values}, packets={self.total_packets}, "
+            f"by_category={dict(self.values_by_category)})"
+        )

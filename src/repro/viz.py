@@ -1,0 +1,121 @@
+"""Terminal visualization of clusterings and fields (no plotting deps).
+
+Renders cluster maps like the paper's Fig 1/Fig 5 as ASCII grids — enough
+to eyeball whether a clustering tracks the underlying spatial structure
+from a terminal or a CI log.
+
+- :func:`render_clustering` — one character per node, letters identify
+  clusters (grid topologies render as the grid; scattered topologies are
+  binned onto a character raster).
+- :func:`render_field` — shade a scalar field (e.g. temperature,
+  elevation) with a density ramp.
+- :func:`cluster_summary` — a text table of clusters, sizes and feature
+  spans.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro._validation import require_int_at_least
+from repro.core.delta import Clustering
+from repro.geometry.topology import Topology
+
+#: Cluster glyphs: letters, then digits, then punctuation; reused cyclically.
+_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+#: Density ramp for scalar fields, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def render_clustering(
+    topology: Topology,
+    clustering: Clustering,
+    *,
+    width: int = 60,
+    height: int | None = None,
+) -> str:
+    """ASCII cluster map: each node drawn as its cluster's glyph."""
+    require_int_at_least(width, 2, "width")
+    glyph_of = _cluster_glyphs(clustering)
+    cells, rows, cols = _rasterize(topology, width, height)
+    canvas = [[" "] * cols for _ in range(rows)]
+    for (r, c), nodes in cells.items():
+        # Majority cluster wins the cell; deterministic tie-break.
+        counts: dict[str, int] = {}
+        for node in nodes:
+            glyph = glyph_of[clustering.root_of(node)]
+            counts[glyph] = counts.get(glyph, 0) + 1
+        canvas[r][c] = max(sorted(counts), key=lambda g: counts[g])
+    return "\n".join("".join(row) for row in canvas)
+
+
+def render_field(
+    topology: Topology,
+    values: Mapping[Hashable, float],
+    *,
+    width: int = 60,
+    height: int | None = None,
+) -> str:
+    """ASCII heat map of a per-node scalar (mean per raster cell)."""
+    require_int_at_least(width, 2, "width")
+    lo = min(values.values())
+    hi = max(values.values())
+    span = (hi - lo) or 1.0
+    cells, rows, cols = _rasterize(topology, width, height)
+    canvas = [[" "] * cols for _ in range(rows)]
+    for (r, c), nodes in cells.items():
+        level = (np.mean([values[v] for v in nodes]) - lo) / span
+        canvas[r][c] = _RAMP[min(int(level * (len(_RAMP) - 1)), len(_RAMP) - 1)]
+    return "\n".join("".join(row) for row in canvas)
+
+
+def cluster_summary(
+    clustering: Clustering,
+    features: Mapping[Hashable, np.ndarray],
+    *,
+    top: int = 10,
+) -> str:
+    """Text table of the *top* largest clusters with feature statistics."""
+    glyph_of = _cluster_glyphs(clustering)
+    rows = []
+    for root, members in sorted(
+        clustering.clusters().items(), key=lambda kv: (-len(kv[1]), repr(kv[0]))
+    )[:top]:
+        matrix = np.asarray([np.atleast_1d(features[v]) for v in members])
+        rows.append(
+            f"  {glyph_of[root]}  root={root!r:>8}  size={len(members):>4}  "
+            f"feature mean={np.round(matrix.mean(axis=0), 3).tolist()}  "
+            f"span={np.round(matrix.max(axis=0) - matrix.min(axis=0), 3).tolist()}"
+        )
+    header = f"{clustering.num_clusters} clusters; {len(clustering.assignment)} nodes"
+    return "\n".join([header] + rows)
+
+
+def _cluster_glyphs(clustering: Clustering) -> dict[Hashable, str]:
+    ordered = sorted(
+        clustering.clusters().items(), key=lambda kv: (-len(kv[1]), repr(kv[0]))
+    )
+    return {
+        root: _GLYPHS[index % len(_GLYPHS)] for index, (root, _) in enumerate(ordered)
+    }
+
+
+def _rasterize(topology: Topology, width: int, height: int | None):
+    """Bin nodes onto a (rows x cols) character raster."""
+    bounds = topology.bounds
+    cols = width
+    if height is None:
+        # Terminal characters are ~2x taller than wide.
+        aspect = bounds.height / bounds.width if bounds.width else 1.0
+        rows = max(2, int(width * aspect / 2))
+    else:
+        rows = require_int_at_least(height, 2, "height")
+    cells: dict[tuple[int, int], list[Hashable]] = {}
+    for node, (x, y) in topology.positions.items():
+        c = min(int((x - bounds.xmin) / (bounds.width or 1.0) * (cols - 1)), cols - 1)
+        r = min(int((y - bounds.ymin) / (bounds.height or 1.0) * (rows - 1)), rows - 1)
+        r = rows - 1 - r  # screen rows grow downward
+        cells.setdefault((r, c), []).append(node)
+    return cells, rows, cols

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import EuclideanMetric
+from repro.geometry import grid_topology, random_geometric_topology
+
+
+@pytest.fixture
+def metric():
+    return EuclideanMetric()
+
+
+@pytest.fixture
+def small_grid():
+    """A 5x5 grid topology."""
+    return grid_topology(5, 5)
+
+
+@pytest.fixture
+def small_grid_features(small_grid):
+    """A smooth gradient field over the 5x5 grid (1-d features)."""
+    return {
+        v: np.array([0.3 * small_grid.positions[v][0] + 0.1 * small_grid.positions[v][1]])
+        for v in small_grid.graph.nodes
+    }
+
+
+@pytest.fixture
+def random_topology():
+    """A ~80-node connected random geometric topology."""
+    return random_geometric_topology(80, seed=42)
+
+
+@pytest.fixture
+def random_features(random_topology):
+    rng = np.random.default_rng(7)
+    return {v: rng.normal(size=2) for v in random_topology.graph.nodes}

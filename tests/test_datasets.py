@@ -1,0 +1,183 @@
+"""Tests for the dataset generators (paper §8.1 stand-ins)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ALPHA_RANGE,
+    ELEVATION_RANGE,
+    diamond_square,
+    fit_features,
+    generate_death_valley_dataset,
+    generate_synthetic_dataset,
+    generate_tao_dataset,
+    stream_measurements,
+)
+from repro.datasets.synthetic import OnlineAR1Ensemble
+
+
+# ----------------------------------------------------------------------
+# Tao
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tao():
+    return generate_tao_dataset(
+        seed=7, samples_per_day=48, training_days=12, stream_days=3
+    )
+
+
+def test_tao_topology_is_6x9_grid(tao):
+    assert tao.topology.num_nodes == 54
+    assert tao.topology.is_connected()
+
+
+def test_tao_series_lengths(tao):
+    for node in tao.topology.graph.nodes:
+        assert tao.training[node].shape == (12 * 48,)
+        assert tao.stream[node].shape == (3 * 48,)
+
+
+def test_tao_temperatures_plausible(tao):
+    values = np.concatenate([tao.stream[n] for n in tao.topology.graph.nodes])
+    assert 20.0 < values.mean() < 30.0
+    assert values.std() < 3.0
+    assert values.min() > ELEVATION_RANGE[0] / 100  # sanity: not wild
+
+
+def test_tao_zones_are_contiguous_columns(tao):
+    for node in tao.topology.graph.nodes:
+        east_neighbor = node + 1 if (node % 9) < 8 else None
+        if east_neighbor is not None:
+            assert tao.zone_of[east_neighbor] >= tao.zone_of[node]
+
+
+def test_tao_fitted_features_separate_zones(tao):
+    _, features = fit_features(tao)
+    metric = tao.metric()
+    within, cross = [], []
+    for a, b in itertools.combinations(list(tao.topology.graph.nodes), 2):
+        d = metric.distance(features[a], features[b])
+        (within if tao.zone_of[a] == tao.zone_of[b] else cross).append(d)
+    assert np.median(cross) > 2.0 * np.median(within)
+
+
+def test_tao_deterministic_per_seed():
+    a = generate_tao_dataset(seed=3, samples_per_day=12, training_days=4, stream_days=1)
+    b = generate_tao_dataset(seed=3, samples_per_day=12, training_days=4, stream_days=1)
+    node = 0
+    assert np.array_equal(a.training[node], b.training[node])
+
+
+def test_tao_validation():
+    with pytest.raises(ValueError):
+        generate_tao_dataset(training_days=2)
+    with pytest.raises(ValueError):
+        generate_tao_dataset(num_zones=0)
+    with pytest.raises(ValueError):
+        generate_tao_dataset(num_zones=99)
+
+
+# ----------------------------------------------------------------------
+# Death Valley
+# ----------------------------------------------------------------------
+def test_diamond_square_shape_and_determinism():
+    a = diamond_square(5, seed=1)
+    b = diamond_square(5, seed=1)
+    assert a.shape == (33, 33)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, diamond_square(5, seed=2))
+
+
+def test_diamond_square_validation():
+    with pytest.raises(ValueError):
+        diamond_square(0)
+    with pytest.raises(ValueError):
+        diamond_square(4, roughness=1.5)
+
+
+def test_death_valley_elevation_range():
+    dataset = generate_death_valley_dataset(seed=2, num_sensors=300)
+    values = np.array([dataset.features[i][0] for i in range(300)])
+    assert values.min() >= ELEVATION_RANGE[0] - 1e-6
+    assert values.max() <= ELEVATION_RANGE[1] + 1e-6
+    assert dataset.terrain.min() == pytest.approx(ELEVATION_RANGE[0])
+    assert dataset.terrain.max() == pytest.approx(ELEVATION_RANGE[1])
+
+
+def test_death_valley_connected_topology():
+    dataset = generate_death_valley_dataset(seed=4, num_sensors=300)
+    assert dataset.topology.is_connected()
+    assert dataset.topology.num_nodes == 300
+
+
+def test_death_valley_features_spatially_correlated():
+    dataset = generate_death_valley_dataset(seed=6, num_sensors=400)
+    neighbor_diffs, random_diffs = [], []
+    rng = np.random.default_rng(0)
+    nodes = list(dataset.topology.graph.nodes)
+    for a, b in dataset.topology.graph.edges:
+        neighbor_diffs.append(abs(dataset.features[a][0] - dataset.features[b][0]))
+    for _ in range(len(neighbor_diffs)):
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        random_diffs.append(abs(dataset.features[a][0] - dataset.features[b][0]))
+    assert np.median(neighbor_diffs) < 0.5 * np.median(random_diffs)
+
+
+def test_death_valley_seeds_vary_topology():
+    a = generate_death_valley_dataset(seed=1, num_sensors=100)
+    b = generate_death_valley_dataset(seed=2, num_sensors=100)
+    assert a.topology.positions != b.topology.positions
+
+
+# ----------------------------------------------------------------------
+# Synthetic
+# ----------------------------------------------------------------------
+def test_synthetic_alpha_recovery():
+    dataset = generate_synthetic_dataset(150, seed=5, readings=3000)
+    errors = [
+        abs(dataset.features[n][0] - dataset.true_alphas[n]) for n in dataset.nodes
+    ]
+    assert np.median(errors) < 0.05
+
+
+def test_synthetic_alphas_in_paper_range():
+    dataset = generate_synthetic_dataset(100, seed=1, readings=100)
+    for alpha in dataset.true_alphas.values():
+        assert ALPHA_RANGE[0] <= alpha <= ALPHA_RANGE[1]
+
+
+def test_synthetic_topology_degree_near_four():
+    dataset = generate_synthetic_dataset(300, seed=9, readings=50)
+    assert 2.5 <= dataset.topology.average_degree() <= 6.5
+    assert dataset.topology.is_connected()
+
+
+def test_stream_measurements_updates_features():
+    dataset = generate_synthetic_dataset(50, seed=2, readings=100)
+    before = {n: dataset.features[n].copy() for n in dataset.nodes}
+    trajectory = stream_measurements(dataset, 50, seed=3)
+    assert trajectory.shape == (50, 50)
+    changed = sum(
+        1 for n in dataset.nodes if not np.array_equal(before[n], dataset.features[n])
+    )
+    assert changed > 40
+
+
+def test_online_ar1_starts_at_one():
+    ensemble = OnlineAR1Ensemble(3)
+    assert ensemble.alphas().tolist() == [1.0, 1.0, 1.0]
+
+
+def test_online_ar1_shape_validation():
+    ensemble = OnlineAR1Ensemble(3)
+    with pytest.raises(ValueError):
+        ensemble.update(np.zeros(2), np.zeros(3))
+
+
+def test_synthetic_validation():
+    with pytest.raises(ValueError):
+        generate_synthetic_dataset(0, seed=1)
+    with pytest.raises(ValueError):
+        generate_synthetic_dataset(10, seed=1, readings=5)

@@ -1,0 +1,121 @@
+"""Tests for the Theorem 1 reduction and the exact solvers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import validate_clustering
+from repro.core.hardness import (
+    clique_cover_to_delta_clustering,
+    delta_clustering_to_clique_cover,
+    optimal_clique_cover,
+    optimal_delta_clustering,
+    verify_reduction,
+)
+from repro.features import EuclideanMetric
+
+
+def test_reduction_builds_clique_with_one_two_distances():
+    graph = nx.path_graph(4)
+    communication, metric, delta = clique_cover_to_delta_clustering(graph)
+    assert communication.number_of_edges() == 6  # K4
+    assert delta == 1.0
+    assert metric.distance(0, 1) == 1.0  # path edge
+    assert metric.distance(0, 2) == 2.0  # non-edge
+
+
+def test_reduction_on_triangle():
+    clusters, cover = verify_reduction(nx.complete_graph(3))
+    assert clusters == cover == 1
+
+
+def test_reduction_on_path():
+    # P4 = 0-1-2-3: cliques are edges -> minimum cover is 2.
+    clusters, cover = verify_reduction(nx.path_graph(4))
+    assert clusters == cover == 2
+
+
+def test_reduction_on_independent_set():
+    graph = nx.empty_graph(4)
+    clusters, cover = verify_reduction(graph)
+    assert clusters == cover == 4
+
+
+def test_reduction_on_cycle5():
+    # C5 needs 3 cliques (edges) to cover 5 vertices.
+    clusters, cover = verify_reduction(nx.cycle_graph(5))
+    assert clusters == cover == 3
+
+
+@given(n=st.integers(min_value=2, max_value=7), seed=st.integers(min_value=0, max_value=30))
+@settings(max_examples=15, deadline=None)
+def test_reduction_answer_preserving_property(n, seed):
+    rng = np.random.default_rng(seed)
+    graph = nx.gnp_random_graph(n, 0.5, seed=seed)
+    clusters, cover = verify_reduction(graph)
+    assert clusters == cover
+
+
+def test_optimal_clique_cover_known_graphs():
+    assert len(optimal_clique_cover(nx.complete_graph(5))) == 1
+    assert len(optimal_clique_cover(nx.star_graph(3))) == 3  # hub + 3 leaves
+    cover = optimal_clique_cover(nx.cycle_graph(4))
+    assert len(cover) == 2
+
+
+def test_optimal_delta_clustering_line():
+    graph = nx.path_graph(5)
+    features = {i: np.array([float(i)]) for i in range(5)}
+    clusters = optimal_delta_clustering(graph, features, EuclideanMetric(), 1.0)
+    # Features 0..4 with delta 1: pairs only -> ceil(5/2) = 3 clusters.
+    assert len(clusters) == 3
+
+
+def test_optimal_respects_connectivity():
+    # Two identical-feature nodes that are NOT graph-connected cannot merge.
+    graph = nx.Graph()
+    graph.add_nodes_from([0, 1, 2])
+    graph.add_edge(0, 1)
+    features = {0: np.array([0.0]), 1: np.array([5.0]), 2: np.array([0.0])}
+    clusters = optimal_delta_clustering(graph, features, EuclideanMetric(), 1.0)
+    assert len(clusters) == 3
+
+
+def test_optimal_solver_size_guard():
+    graph = nx.path_graph(30)
+    features = {i: np.array([0.0]) for i in range(30)}
+    with pytest.raises(ValueError, match="limited"):
+        optimal_delta_clustering(graph, features, EuclideanMetric(), 1.0)
+    with pytest.raises(ValueError, match="limited"):
+        optimal_clique_cover(nx.path_graph(30))
+
+
+def test_heuristics_never_beat_optimum():
+    from repro.core import ELinkConfig, run_elink
+    from repro.geometry import random_geometric_topology
+
+    metric = EuclideanMetric()
+    rng = np.random.default_rng(1)
+    for seed in range(4):
+        topology = random_geometric_topology(9, seed=seed)
+        features = {v: rng.normal(size=1) for v in topology.graph.nodes}
+        optimal = optimal_delta_clustering(topology.graph, features, metric, 1.0)
+        elink = run_elink(topology, features, metric, ELinkConfig(delta=1.0))
+        assert elink.num_clusters >= len(optimal)
+
+
+def test_compatibility_graph_for_clique_cg():
+    graph = nx.complete_graph(3)
+    features = {0: np.array([0.0]), 1: np.array([0.5]), 2: np.array([5.0])}
+    compatibility = delta_clustering_to_clique_cover(
+        graph, features, EuclideanMetric(), 1.0
+    )
+    assert compatibility.has_edge(0, 1)
+    assert not compatibility.has_edge(0, 2)
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(ValueError):
+        clique_cover_to_delta_clustering(nx.Graph())

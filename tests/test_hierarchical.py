@@ -1,0 +1,111 @@
+"""Tests for the distributed hierarchical clustering baseline."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import run_hierarchical
+from repro.core import validate_clustering
+from repro.features import EuclideanMetric
+from repro.geometry import grid_topology
+
+
+def test_valid_delta_clustering_exact_rule(random_topology, random_features):
+    metric = EuclideanMetric()
+    result = run_hierarchical(random_topology.graph, random_features, metric, 1.5)
+    violations = validate_clustering(
+        random_topology.graph, result.clustering, random_features, metric, 1.5
+    )
+    assert violations == []
+
+
+def test_valid_delta_clustering_safe_rule(random_topology, random_features):
+    metric = EuclideanMetric()
+    result = run_hierarchical(
+        random_topology.graph, random_features, metric, 1.5, diameter_rule="safe"
+    )
+    violations = validate_clustering(
+        random_topology.graph, result.clustering, random_features, metric, 1.5
+    )
+    assert violations == []
+
+
+def test_paper_rule_runs_and_may_overmerge(random_topology, random_features):
+    """The literal diameter formula can understate, so we only require it
+    to terminate and produce at most as many clusters as the safe rule."""
+    metric = EuclideanMetric()
+    paper = run_hierarchical(
+        random_topology.graph, random_features, metric, 1.5, diameter_rule="paper"
+    )
+    safe = run_hierarchical(
+        random_topology.graph, random_features, metric, 1.5, diameter_rule="safe"
+    )
+    assert paper.num_clusters <= safe.num_clusters
+
+
+def test_exact_merges_at_least_as_much_as_safe(random_topology, random_features):
+    metric = EuclideanMetric()
+    exact = run_hierarchical(random_topology.graph, random_features, metric, 1.5)
+    safe = run_hierarchical(
+        random_topology.graph, random_features, metric, 1.5, diameter_rule="safe"
+    )
+    assert exact.num_clusters <= safe.num_clusters
+
+
+def test_uniform_features_merge_to_one_cluster():
+    topology = grid_topology(4, 4)
+    features = {v: np.zeros(1) for v in topology.graph.nodes}
+    result = run_hierarchical(topology.graph, features, EuclideanMetric(), 1.0)
+    assert result.num_clusters == 1
+
+
+def test_line_graph_merging_respects_delta():
+    graph = nx.path_graph(6)
+    features = {i: np.array([float(i)]) for i in range(6)}
+    result = run_hierarchical(graph, features, EuclideanMetric(), 2.0)
+    # Each cluster spans a feature range of at most 2.0.
+    for members in result.clustering.clusters().values():
+        values = [features[v][0] for v in members]
+        assert max(values) - min(values) <= 2.0 + 1e-9
+
+
+def test_far_features_stay_singletons():
+    graph = nx.path_graph(4)
+    features = {i: np.array([100.0 * i]) for i in range(4)}
+    result = run_hierarchical(graph, features, EuclideanMetric(), 1.0)
+    assert result.num_clusters == 4
+
+
+def test_messages_grow_superlinearly_vs_forest():
+    """Hierarchical negotiation costs dwarf the spanning forest's (§8.5)."""
+    from repro.baselines import run_spanning_forest
+    from repro.geometry import grid_topology as grid
+
+    rng = np.random.default_rng(0)
+    topology = grid(8, 8)
+    features = {
+        v: np.array([0.05 * topology.positions[v][0] + rng.normal(0, 0.01)])
+        for v in topology.graph.nodes
+    }
+    metric = EuclideanMetric()
+    hier = run_hierarchical(topology.graph, features, metric, 0.5)
+    forest = run_spanning_forest(topology, features, metric, 0.5)
+    assert hier.total_messages > 2 * forest.total_messages
+
+
+def test_rounds_reported(random_topology, random_features):
+    result = run_hierarchical(random_topology.graph, random_features, EuclideanMetric(), 1.0)
+    assert result.rounds >= 1
+
+
+def test_invalid_diameter_rule_rejected(random_topology, random_features):
+    with pytest.raises(ValueError):
+        run_hierarchical(
+            random_topology.graph, random_features, EuclideanMetric(), 1.0,
+            diameter_rule="optimistic",
+        )
+
+
+def test_delta_validation(random_topology, random_features):
+    with pytest.raises(ValueError):
+        run_hierarchical(random_topology.graph, random_features, EuclideanMetric(), -1.0)

@@ -1,0 +1,125 @@
+"""Tests for the distributed M-tree index and the leader backbone."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ELinkConfig, run_elink
+from repro.features import EuclideanMetric
+from repro.geometry import grid_topology, random_geometric_topology
+from repro.index import (
+    build_backbone,
+    build_mtree,
+    verify_covering_invariant,
+)
+
+
+def _clustered(topology, features, delta=1.0):
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=delta)).clustering
+    return clustering, metric
+
+
+def test_covering_invariant_holds(small_grid, small_grid_features):
+    clustering, metric = _clustered(small_grid, small_grid_features)
+    index = build_mtree(clustering, small_grid_features, metric)
+    assert verify_covering_invariant(index, clustering, small_grid_features, metric) == []
+
+
+def test_leaf_radius_zero(small_grid, small_grid_features):
+    clustering, metric = _clustered(small_grid, small_grid_features)
+    index = build_mtree(clustering, small_grid_features, metric)
+    children = clustering.tree_children()
+    for node in clustering.assignment:
+        if not children[node]:
+            assert index.covering_radius[node] == 0.0
+
+
+def test_child_info_matches_metric(small_grid, small_grid_features):
+    clustering, metric = _clustered(small_grid, small_grid_features)
+    index = build_mtree(clustering, small_grid_features, metric)
+    for node, info in index.child_info.items():
+        for child, (distance, radius) in info.items():
+            assert distance == pytest.approx(
+                metric.distance(
+                    index.routing_feature[node], index.routing_feature[child]
+                )
+            )
+            assert radius == index.covering_radius[child]
+
+
+def test_build_cost_is_dim_plus_one_per_tree_edge(small_grid, small_grid_features):
+    clustering, metric = _clustered(small_grid, small_grid_features)
+    index = build_mtree(clustering, small_grid_features, metric)
+    tree_edges = sum(
+        1 for node, parent in clustering.parent.items() if parent != node
+    )
+    dim = 1
+    assert index.build_messages == (dim + 1) * tree_edges
+
+
+def test_verify_covering_invariant_reports_violations(small_grid, small_grid_features):
+    clustering, metric = _clustered(small_grid, small_grid_features)
+    index = build_mtree(clustering, small_grid_features, metric)
+    # Corrupt one radius and expect a report (pick a root with children).
+    root = next(r for r in clustering.roots if len(clustering.members(r)) > 1)
+    index.covering_radius[root] = 0.0
+    problems = verify_covering_invariant(index, clustering, small_grid_features, metric)
+    assert problems
+
+
+@given(seed=st.integers(min_value=0, max_value=40))
+@settings(max_examples=15, deadline=None)
+def test_covering_invariant_property(seed):
+    topology = random_geometric_topology(40, seed=seed)
+    rng = np.random.default_rng(seed)
+    features = {v: rng.normal(size=2) for v in topology.graph.nodes}
+    clustering, metric = _clustered(topology, features, delta=1.5)
+    index = build_mtree(clustering, features, metric)
+    assert verify_covering_invariant(index, clustering, features, metric) == []
+
+
+# ----------------------------------------------------------------------
+# backbone
+# ----------------------------------------------------------------------
+def test_backbone_is_spanning_tree_over_roots(small_grid, small_grid_features):
+    clustering, metric = _clustered(small_grid, small_grid_features, delta=0.5)
+    assert clustering.num_clusters > 1
+    backbone = build_backbone(small_grid.graph, clustering)
+    assert set(backbone.tree.nodes) == set(clustering.roots)
+    assert backbone.tree.number_of_edges() == clustering.num_clusters - 1
+    assert nx.is_connected(backbone.tree)
+
+
+def test_backbone_paths_are_graph_paths(small_grid, small_grid_features):
+    clustering, metric = _clustered(small_grid, small_grid_features, delta=0.5)
+    backbone = build_backbone(small_grid.graph, clustering)
+    for a, b in backbone.tree.edges:
+        path = backbone.path(a, b)
+        assert path[0] == a and path[-1] == b
+        for u, v in zip(path, path[1:]):
+            assert small_grid.graph.has_edge(u, v)
+        assert backbone.edge_hops(a, b) == len(path) - 1
+        # The reversed lookup works too.
+        reversed_path = backbone.path(b, a)
+        assert list(reversed_path) == list(reversed(path))
+
+
+def test_backbone_single_cluster():
+    topology = grid_topology(3, 3)
+    features = {v: np.zeros(1) for v in topology.graph.nodes}
+    clustering, metric = _clustered(topology, features, delta=5.0)
+    assert clustering.num_clusters == 1
+    backbone = build_backbone(topology.graph, clustering)
+    assert backbone.tree.number_of_edges() == 0
+    assert backbone.build_messages == 0
+
+
+def test_backbone_build_cost_positive_for_multiple_clusters(
+    small_grid, small_grid_features
+):
+    clustering, metric = _clustered(small_grid, small_grid_features, delta=0.5)
+    backbone = build_backbone(small_grid.graph, clustering)
+    assert backbone.build_messages > 0

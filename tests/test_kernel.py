@@ -1,0 +1,147 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import EventKernel
+
+
+def test_events_run_in_time_order():
+    kernel = EventKernel()
+    seen = []
+    kernel.schedule(3.0, seen.append, "c")
+    kernel.schedule(1.0, seen.append, "a")
+    kernel.schedule(2.0, seen.append, "b")
+    kernel.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    kernel = EventKernel()
+    seen = []
+    for label in "abcde":
+        kernel.schedule(1.0, seen.append, label)
+    kernel.run()
+    assert seen == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    kernel = EventKernel()
+    times = []
+    kernel.schedule(2.5, lambda: times.append(kernel.now))
+    kernel.run()
+    assert times == [2.5]
+    assert kernel.now == 2.5
+
+
+def test_nested_scheduling():
+    kernel = EventKernel()
+    seen = []
+
+    def outer():
+        seen.append(("outer", kernel.now))
+        kernel.schedule(1.0, inner)
+
+    def inner():
+        seen.append(("inner", kernel.now))
+
+    kernel.schedule(1.0, outer)
+    kernel.run()
+    assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_cancelled_event_does_not_fire():
+    kernel = EventKernel()
+    seen = []
+    event = kernel.schedule(1.0, seen.append, "x")
+    event.cancel()
+    kernel.run()
+    assert seen == []
+    assert kernel.events_executed == 0
+
+
+def test_cancel_is_idempotent():
+    kernel = EventKernel()
+    event = kernel.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    kernel.run()
+
+
+def test_run_until_stops_before_later_events():
+    kernel = EventKernel()
+    seen = []
+    kernel.schedule(1.0, seen.append, "a")
+    kernel.schedule(5.0, seen.append, "b")
+    kernel.run(until=2.0)
+    assert seen == ["a"]
+    assert kernel.now == 2.0
+    kernel.run()
+    assert seen == ["a", "b"]
+
+
+def test_run_until_advances_time_when_heap_empty():
+    kernel = EventKernel()
+    kernel.run(until=10.0)
+    assert kernel.now == 10.0
+
+
+def test_negative_delay_rejected():
+    kernel = EventKernel()
+    with pytest.raises(ValueError):
+        kernel.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    kernel = EventKernel()
+    kernel.schedule(5.0, lambda: None)
+    kernel.run()
+    with pytest.raises(ValueError):
+        kernel.schedule_at(1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    kernel = EventKernel()
+    times = []
+    kernel.schedule_at(4.0, lambda: times.append(kernel.now))
+    kernel.run()
+    assert times == [4.0]
+
+
+def test_max_events_guard_raises():
+    kernel = EventKernel()
+
+    def loop():
+        kernel.schedule(1.0, loop)
+
+    kernel.schedule(1.0, loop)
+    with pytest.raises(RuntimeError, match="max_events"):
+        kernel.run(max_events=10)
+
+
+def test_step_executes_single_event():
+    kernel = EventKernel()
+    seen = []
+    kernel.schedule(1.0, seen.append, "a")
+    kernel.schedule(2.0, seen.append, "b")
+    assert kernel.step() is True
+    assert seen == ["a"]
+    assert kernel.step() is True
+    assert kernel.step() is False
+    assert seen == ["a", "b"]
+
+
+def test_events_executed_counter():
+    kernel = EventKernel()
+    for _ in range(5):
+        kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    assert kernel.events_executed == 5
+
+
+def test_pending_counts_queued_events():
+    kernel = EventKernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    assert kernel.pending == 2
+    kernel.run()
+    assert kernel.pending == 0

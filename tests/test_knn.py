@@ -1,0 +1,89 @@
+"""Tests for the k-NN query extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ELinkConfig, run_elink
+from repro.features import EuclideanMetric
+from repro.geometry import random_geometric_topology
+from repro.index import build_backbone, build_mtree
+from repro.queries import KnnQueryEngine, brute_force_knn
+
+
+def _engine_for(topology, features, delta=1.5):
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=delta)).clustering
+    mtree = build_mtree(clustering, features, metric)
+    backbone = build_backbone(topology.graph, clustering)
+    return KnnQueryEngine(clustering, features, metric, mtree, backbone), metric
+
+
+def test_knn_matches_brute_force(random_topology, random_features):
+    engine, metric = _engine_for(random_topology, random_features)
+    rng = np.random.default_rng(0)
+    for _ in range(15):
+        q = rng.normal(size=2)
+        k = int(rng.integers(1, 8))
+        result = engine.query(q, k, initiator=0)
+        truth = brute_force_knn(random_features, metric, q, k)
+        assert [node for node, _ in result.neighbors] == [node for node, _ in truth]
+
+
+def test_knn_distances_sorted(random_topology, random_features):
+    engine, metric = _engine_for(random_topology, random_features)
+    result = engine.query(np.zeros(2), 5, initiator=0)
+    distances = [d for _, d in result.neighbors]
+    assert distances == sorted(distances)
+
+
+def test_k_one_returns_nearest(random_topology, random_features):
+    engine, metric = _engine_for(random_topology, random_features)
+    node = next(iter(random_topology.graph.nodes))
+    result = engine.query(random_features[node], 1, initiator=node)
+    assert result.neighbors[0][0] == node
+    assert result.neighbors[0][1] == pytest.approx(0.0)
+
+
+def test_k_larger_than_network(random_topology, random_features):
+    engine, metric = _engine_for(random_topology, random_features)
+    n = random_topology.num_nodes
+    result = engine.query(np.zeros(2), n + 10, initiator=0)
+    assert len(result.neighbors) == n
+
+
+def test_k_validation(random_topology, random_features):
+    engine, _ = _engine_for(random_topology, random_features)
+    with pytest.raises(ValueError):
+        engine.query(np.zeros(2), 0, initiator=0)
+
+
+def test_knn_visits_fewer_nodes_than_network_on_clustered_data():
+    from repro.geometry import grid_topology
+
+    topology = grid_topology(10, 10)
+    features = {
+        v: np.array([0.2 * topology.positions[v][0]]) for v in topology.graph.nodes
+    }
+    engine, metric = _engine_for(topology, features, delta=0.5)
+    result = engine.query(features[0], 3, initiator=0)
+    truth = brute_force_knn(features, metric, features[0], 3)
+    # Many nodes tie at distance 0 on this field, so compare distances.
+    assert [round(d, 9) for _, d in result.neighbors] == [
+        round(d, 9) for _, d in truth
+    ]
+    assert result.nodes_visited < topology.num_nodes
+
+
+@given(seed=st.integers(min_value=0, max_value=25), k=st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_knn_correctness_property(seed, k):
+    topology = random_geometric_topology(40, seed=seed)
+    rng = np.random.default_rng(seed + 50)
+    features = {v: rng.normal(size=2) for v in topology.graph.nodes}
+    engine, metric = _engine_for(topology, features, delta=1.0)
+    q = rng.normal(size=2)
+    result = engine.query(q, k, initiator=0)
+    truth = brute_force_knn(features, metric, q, k)
+    assert [n for n, _ in result.neighbors] == [n for n, _ in truth]

@@ -1,0 +1,236 @@
+"""Tests for slack-based dynamic cluster maintenance (paper §6)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import (
+    CentralizedUpdateBaseline,
+    ELinkConfig,
+    MaintenanceSession,
+    run_elink,
+)
+from repro.features import EuclideanMetric
+from repro.geometry import grid_topology
+
+
+DELTA = 1.0
+SLACK = 0.1
+
+
+def _session(delta=DELTA, slack=SLACK):
+    """A 4x4 grid with two feature plateaus -> two clusters."""
+    topology = grid_topology(4, 4)
+    features = {
+        v: np.array([0.0 if topology.positions[v][0] < 2 else 5.0])
+        for v in topology.graph.nodes
+    }
+    metric = EuclideanMetric()
+    clustering = run_elink(
+        topology, features, metric, ELinkConfig(delta=delta - 2 * slack)
+    ).clustering
+    session = MaintenanceSession(
+        topology.graph, clustering, features, metric, delta, slack
+    )
+    return topology, features, session
+
+
+def test_constructor_validates_slack():
+    topology, features, session = _session()
+    with pytest.raises(ValueError, match="2\\*slack"):
+        MaintenanceSession(
+            topology.graph,
+            session.current_clustering(),
+            features,
+            EuclideanMetric(),
+            1.0,
+            0.5,
+        )
+
+
+def test_a1_small_drift_is_silent():
+    topology, features, session = _session()
+    member = next(n for n in session.assignment if session.assignment[n] != n)
+    outcome = session.update_feature(member, session.features[member] + 0.05)
+    assert outcome.kind == "silent"
+    assert outcome.messages == 0
+
+
+def test_a3_far_from_boundary_is_silent():
+    """A jump bigger than the slack stays silent while still well inside δ-Δ
+    of the stored root feature (condition A3)."""
+    topology, features, session = _session()
+    member = next(n for n in session.assignment if session.assignment[n] != n)
+    root_feature = session.stored_root[member]
+    new_feature = root_feature + (DELTA - SLACK) * 0.5
+    outcome = session.update_feature(member, new_feature)
+    assert outcome.kind == "silent"
+
+
+def test_all_conditions_violated_costs_messages():
+    topology, features, session = _session()
+    member = next(
+        n
+        for n in session.assignment
+        if session.assignment[n] != n and session.parent[n] != session.assignment[n]
+    )
+    # Jump far beyond delta from the root: A1 (big step), A2 (distance grew
+    # by more than slack) and A3 (beyond delta - slack) all fail.
+    outcome = session.update_feature(member, session.features[member] + 100.0)
+    assert outcome.kind in ("merged", "singleton")
+    assert outcome.messages > 0
+
+
+def test_revalidation_without_detach():
+    topology, features, session = _session()
+    member = next(n for n in session.assignment if session.assignment[n] != n)
+    root = session.assignment[member]
+    # Drift the node's stored root copy out of date, then move the node so
+    # A1-A3 fail but it is still within delta of the *fresh* root feature.
+    new_feature = session.root_features[root] + DELTA * 0.95
+    outcome = session.update_feature(member, new_feature)
+    assert outcome.kind == "revalidated"
+    assert outcome.messages > 0
+    assert session.assignment[member] == root
+
+
+def test_detached_node_merges_with_neighbor_cluster():
+    topology, features, session = _session()
+    # A node on the 0.0-plateau boundary jumps to the 5.0 plateau's value.
+    member = next(
+        n
+        for n in session.assignment
+        if session.features[n][0] == 0.0
+        and any(session.features[nb][0] == 5.0 for nb in topology.graph.neighbors(n))
+        and session.assignment[n] != n
+    )
+    outcome = session.update_feature(member, np.array([5.0]))
+    assert outcome.kind == "merged"
+    new_root = session.assignment[member]
+    assert session.features[new_root][0] == 5.0
+
+
+def test_detached_node_without_fit_becomes_singleton():
+    topology, features, session = _session()
+    member = next(
+        n
+        for n in session.assignment
+        if session.assignment[n] != n and session.parent[n] != session.assignment[n]
+    )
+    outcome = session.update_feature(member, np.array([1000.0]))
+    assert outcome.kind == "singleton"
+    assert session.assignment[member] == member
+    assert member in session.root_features
+
+
+def test_root_small_drift_is_silent():
+    topology, features, session = _session()
+    root = next(n for n in session.assignment if session.assignment[n] == n)
+    outcome = session.update_feature(root, session.features[root] + 0.05)
+    assert outcome.kind == "silent"
+
+
+def test_root_large_drift_broadcasts():
+    topology, features, session = _session()
+    root = next(
+        n
+        for n in session.assignment
+        if session.assignment[n] == n and len(session_members(session, n)) > 1
+    )
+    outcome = session.update_feature(root, session.features[root] + 3 * SLACK)
+    assert outcome.kind == "root_broadcast"
+    assert outcome.messages > 0
+    # Members' stored root copies are refreshed.
+    for member in session_members(session, root):
+        assert np.allclose(session.stored_root[member], session.features[root])
+
+
+def session_members(session, root):
+    return [n for n, r in session.assignment.items() if r == root]
+
+
+def test_root_jump_evicts_far_members():
+    topology, features, session = _session()
+    root = next(
+        n
+        for n in session.assignment
+        if session.assignment[n] == n and len(session_members(session, n)) > 2
+    )
+    before = set(session_members(session, root))
+    session.update_feature(root, session.features[root] + 50.0)
+    after = set(session_members(session, root))
+    assert after < before  # members detached
+
+
+def test_current_clustering_stays_connected_after_stream():
+    topology, features, session = _session()
+    rng = np.random.default_rng(0)
+    nodes = list(session.assignment)
+    for _ in range(400):
+        node = nodes[int(rng.integers(len(nodes)))]
+        session.update_feature(node, session.features[node] + rng.normal(0, 0.2))
+    clustering = session.current_clustering()
+    for root, members in clustering.clusters().items():
+        assert nx.is_connected(topology.graph.subgraph(members))
+
+
+def test_message_totals_accumulate():
+    topology, features, session = _session()
+    member = next(n for n in session.assignment if session.assignment[n] != n)
+    before = session.total_messages()
+    session.update_feature(member, session.features[member] + 100.0)
+    assert session.total_messages() > before
+
+
+# ----------------------------------------------------------------------
+# CentralizedUpdateBaseline
+# ----------------------------------------------------------------------
+def test_centralized_ships_on_violation_only():
+    topology = grid_topology(3, 3)
+    features = {v: np.zeros(1) for v in topology.graph.nodes}
+    baseline = CentralizedUpdateBaseline(topology.graph, features, 0, slack=0.5)
+    silent = baseline.update_feature(8, np.array([0.4]))
+    assert silent.kind == "silent" and silent.messages == 0
+    shipped = baseline.update_feature(8, np.array([1.0]))
+    assert shipped.kind == "shipped"
+    # Node 8 is 4 hops from node 0 on the 3x3 grid; 1 coefficient value.
+    assert shipped.messages == 4
+
+
+def test_centralized_reanchors_after_shipping():
+    topology = grid_topology(3, 3)
+    features = {v: np.zeros(1) for v in topology.graph.nodes}
+    baseline = CentralizedUpdateBaseline(topology.graph, features, 0, slack=0.5)
+    baseline.update_feature(8, np.array([1.0]))
+    # Within slack of the *shipped* value now.
+    assert baseline.update_feature(8, np.array([1.2])).kind == "silent"
+
+
+def test_centralized_raw_mode_charges_every_measurement():
+    topology = grid_topology(3, 3)
+    features = {v: np.zeros(1) for v in topology.graph.nodes}
+    baseline = CentralizedUpdateBaseline(topology.graph, features, 0, slack=0.5, raw=True)
+    hops = baseline.observe_raw(8)
+    assert hops == 4
+    assert baseline.total_messages() == 4
+
+
+def test_centralized_unknown_base_rejected():
+    topology = grid_topology(2, 2)
+    features = {v: np.zeros(1) for v in topology.graph.nodes}
+    with pytest.raises(KeyError):
+        CentralizedUpdateBaseline(topology.graph, features, 99, slack=0.1)
+
+
+def test_elink_updates_cheaper_than_centralized_on_stream():
+    """The Fig 10 headline: maintenance messages sit well below shipping."""
+    topology, features, session = _session()
+    baseline = CentralizedUpdateBaseline(topology.graph, features, 0, slack=SLACK)
+    rng = np.random.default_rng(1)
+    nodes = list(session.assignment)
+    for _ in range(600):
+        node = nodes[int(rng.integers(len(nodes)))]
+        new = session.features[node] + rng.normal(0, 0.08)
+        session.update_feature(node, new)
+        baseline.update_feature(node, new)
+    assert baseline.total_messages() > 3 * session.total_messages()

@@ -1,0 +1,207 @@
+"""Tests for feature metrics, including property-based axiom checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import (
+    EuclideanMetric,
+    ManhattanMetric,
+    MatrixMetric,
+    TAO_WEIGHTS,
+    WeightedEuclideanMetric,
+    as_feature,
+    check_metric_axioms,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+vectors = st.lists(finite_floats, min_size=1, max_size=6)
+
+
+def test_as_feature_scalar_becomes_vector():
+    out = as_feature(3.0)
+    assert out.shape == (1,)
+
+
+def test_as_feature_rejects_matrix():
+    with pytest.raises(ValueError):
+        as_feature(np.zeros((2, 2)))
+
+
+def test_as_feature_rejects_nan():
+    with pytest.raises(ValueError):
+        as_feature([1.0, float("nan")])
+
+
+def test_euclidean_known_value():
+    metric = EuclideanMetric()
+    assert metric.distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+
+def test_manhattan_known_value():
+    metric = ManhattanMetric()
+    assert metric.distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+
+def test_weighted_euclidean_known_value():
+    metric = WeightedEuclideanMetric([4.0, 1.0])
+    assert metric.distance([0.0, 0.0], [1.0, 2.0]) == pytest.approx(np.sqrt(4 + 4))
+
+
+def test_weighted_euclidean_emphasizes_weighted_coordinates():
+    metric = WeightedEuclideanMetric(TAO_WEIGHTS)
+    base = np.zeros(4)
+    move_first = np.array([0.1, 0, 0, 0])
+    move_last = np.array([0, 0, 0, 0.1])
+    assert metric.distance(base, move_first) > metric.distance(base, move_last)
+
+
+def test_weighted_euclidean_dimension_mismatch():
+    metric = WeightedEuclideanMetric([1.0, 1.0])
+    with pytest.raises(ValueError):
+        metric.distance([1.0, 2.0, 3.0], [0.0, 0.0, 0.0])
+
+
+def test_weighted_euclidean_rejects_bad_weights():
+    with pytest.raises(ValueError):
+        WeightedEuclideanMetric([1.0, 0.0])
+    with pytest.raises(ValueError):
+        WeightedEuclideanMetric([])
+    with pytest.raises(ValueError):
+        WeightedEuclideanMetric([1.0, -2.0])
+
+
+def test_dimension_mismatch_raises():
+    metric = EuclideanMetric()
+    with pytest.raises(ValueError):
+        metric.distance([1.0], [1.0, 2.0])
+
+
+@pytest.mark.parametrize(
+    "metric",
+    [EuclideanMetric(), ManhattanMetric(), WeightedEuclideanMetric([0.5, 0.3, 0.2])],
+    ids=["euclidean", "manhattan", "weighted"],
+)
+def test_axioms_on_random_sample(metric):
+    rng = np.random.default_rng(0)
+    sample = [rng.normal(size=3) for _ in range(6)]
+    check_metric_axioms(metric, sample)
+
+
+@given(a=vectors, b=vectors, c=vectors)
+@settings(max_examples=60, deadline=None)
+def test_euclidean_triangle_inequality_property(a, b, c):
+    size = min(len(a), len(b), len(c))
+    metric = EuclideanMetric()
+    va, vb, vc = a[:size], b[:size], c[:size]
+    assert metric.distance(va, vb) <= (
+        metric.distance(va, vc) + metric.distance(vc, vb) + 1e-6
+    )
+
+
+@given(a=vectors, b=vectors)
+@settings(max_examples=60, deadline=None)
+def test_manhattan_symmetry_property(a, b):
+    size = min(len(a), len(b))
+    metric = ManhattanMetric()
+    assert metric.distance(a[:size], b[:size]) == pytest.approx(
+        metric.distance(b[:size], a[:size])
+    )
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_weighted_euclidean_axioms_property(data):
+    dim = data.draw(st.integers(min_value=1, max_value=4))
+    weights = data.draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0), min_size=dim, max_size=dim
+        )
+    )
+    points = data.draw(
+        st.lists(
+            st.lists(finite_floats, min_size=dim, max_size=dim), min_size=2, max_size=4
+        )
+    )
+    metric = WeightedEuclideanMetric(weights)
+    check_metric_axioms(metric, points, tolerance=1e-5)
+
+
+def test_pairwise_matches_distance():
+    metric = WeightedEuclideanMetric([0.5, 0.5])
+    rng = np.random.default_rng(1)
+    sample = [rng.normal(size=2) for _ in range(5)]
+    matrix = metric.pairwise(sample)
+    for i in range(5):
+        for j in range(5):
+            assert matrix[i, j] == pytest.approx(metric.distance(sample[i], sample[j]))
+
+
+def test_pairwise_empty_rejected():
+    with pytest.raises(ValueError):
+        EuclideanMetric().pairwise([])
+
+
+# ----------------------------------------------------------------------
+# MatrixMetric
+# ----------------------------------------------------------------------
+def fig3_metric():
+    """A Fig-3-style 5-node distance table (consistent with the axioms)."""
+    return MatrixMetric(
+        {
+            ("a", "b"): 2, ("a", "c"): 4, ("a", "d"): 5, ("a", "e"): 1,
+            ("b", "c"): 3, ("b", "d"): 4, ("b", "e"): 2,
+            ("c", "d"): 6, ("c", "e"): 5,
+            ("d", "e"): 5,
+        }
+    )
+
+
+def test_matrix_metric_lookup_and_symmetry():
+    metric = fig3_metric()
+    assert metric.distance("a", "b") == 2
+    assert metric.distance("b", "a") == 2
+    assert metric.distance("c", "c") == 0
+
+
+def test_matrix_metric_unknown_pair():
+    metric = fig3_metric()
+    with pytest.raises(KeyError):
+        metric.distance("a", "z")
+
+
+def test_matrix_metric_rejects_triangle_violation():
+    with pytest.raises(ValueError, match="triangle"):
+        MatrixMetric({("a", "b"): 1, ("b", "c"): 1, ("a", "c"): 5})
+
+
+def test_matrix_metric_rejects_negative():
+    with pytest.raises(ValueError):
+        MatrixMetric({("a", "b"): -1})
+
+
+def test_matrix_metric_rejects_nonzero_self_distance():
+    with pytest.raises(ValueError):
+        MatrixMetric({("a", "a"): 2})
+
+
+def test_matrix_metric_theorem1_reduction_distances_are_metric():
+    """The 1/2-valued distances of the clique-cover reduction satisfy the
+    triangle inequality (values in {1, 2} always do)."""
+    rng = np.random.default_rng(0)
+    names = [f"v{i}" for i in range(6)]
+    table = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            table[(a, b)] = 1 if rng.random() < 0.5 else 2
+    MatrixMetric(table)  # construction runs the triangle check
+
+
+def test_check_metric_axioms_catches_violation():
+    class Broken(EuclideanMetric):
+        def distance(self, a, b):
+            return -1.0
+
+    with pytest.raises(AssertionError):
+        check_metric_axioms(Broken(), [np.zeros(2), np.ones(2)])

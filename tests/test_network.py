@@ -1,0 +1,205 @@
+"""Tests for the message-passing network layer and protocol node base."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.geometry import grid_topology
+from repro.sim import EventKernel, Message, Network, ProtocolNode
+
+
+class Recorder(ProtocolNode):
+    """Collects every delivered message with its arrival time."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network, np.zeros(1))
+        self.received = []
+
+    def handle_message(self, message):
+        self.received.append((message, self.now))
+
+
+def _line_network(n=4, hop_delay=1.0):
+    graph = nx.path_graph(n)
+    network = Network(graph, EventKernel(), hop_delay=hop_delay)
+    nodes = {i: Recorder(i, network) for i in range(n)}
+    return network, nodes
+
+
+def test_send_requires_adjacency():
+    network, nodes = _line_network()
+    with pytest.raises(ValueError, match="adjacency"):
+        network.send(Message("feature", 0, 3))
+
+
+def test_send_delivers_after_one_hop_delay():
+    network, nodes = _line_network(hop_delay=2.0)
+    network.send(Message("feature", 0, 1))
+    network.run()
+    assert len(nodes[1].received) == 1
+    _, arrival = nodes[1].received[0]
+    assert arrival == 2.0
+
+
+def test_route_charges_values_times_hops():
+    network, nodes = _line_network()
+    hops = network.route(Message("feature", 0, 3, values=4))
+    network.run()
+    assert hops == 3
+    assert network.stats.total_values == 12
+    assert nodes[3].received[0][1] == 3.0
+
+
+def test_route_to_self_is_free():
+    network, nodes = _line_network()
+    hops = network.route(Message("feature", 1, 1))
+    network.run()
+    assert hops == 0
+    assert network.stats.total_values == 0
+    assert len(nodes[1].received) == 1
+
+
+def test_route_along_validates_path():
+    network, nodes = _line_network()
+    with pytest.raises(ValueError, match="path must run"):
+        network.route_along([1, 2], Message("feature", 0, 2))
+    with pytest.raises(ValueError, match="not a graph edge"):
+        network.route_along([0, 2], Message("feature", 0, 2))
+
+
+def test_route_along_charges_path_length():
+    network, nodes = _line_network()
+    network.route_along([0, 1, 2], Message("feature", 0, 2, values=3))
+    network.run()
+    assert network.stats.total_values == 6
+
+
+def test_broadcast_reaches_all_neighbors():
+    topology = grid_topology(3, 3)
+    network = Network(topology.graph, EventKernel())
+    nodes = {v: Recorder(v, network) for v in topology.graph.nodes}
+    count = network.broadcast(4, lambda nb: Message("feature", 4, nb))  # center node
+    network.run()
+    assert count == 4
+    for neighbor in topology.graph.neighbors(4):
+        assert len(nodes[neighbor].received) == 1
+
+
+def test_unregistered_handler_raises():
+    graph = nx.path_graph(2)
+    network = Network(graph, EventKernel())
+    Recorder(0, network)
+    network.send(Message("feature", 0, 1))
+    with pytest.raises(KeyError, match="no handler"):
+        network.run()
+
+
+def test_register_unknown_node_rejected():
+    graph = nx.path_graph(2)
+    network = Network(graph, EventKernel())
+    with pytest.raises(KeyError):
+        network.register(99, object())
+
+
+def test_hop_distance_uses_shortest_path():
+    network, _ = _line_network(5)
+    assert network.hop_distance(0, 4) == 4
+    assert network.hop_distance(2, 2) == 0
+
+
+def test_no_path_raises():
+    graph = nx.Graph()
+    graph.add_nodes_from([0, 1])
+    network = Network(graph, EventKernel())
+    Recorder(0, network)
+    Recorder(1, network)
+    with pytest.raises(nx.NetworkXNoPath):
+        network.route(Message("feature", 0, 1))
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(ValueError):
+        Network(nx.Graph(), EventKernel())
+
+
+def test_hop_delay_must_be_positive():
+    with pytest.raises(ValueError):
+        Network(nx.path_graph(2), EventKernel(), hop_delay=0.0)
+
+
+class Echo(ProtocolNode):
+    """Replies to ping with pong via the dispatch mechanism."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network, np.zeros(1))
+        self.pongs = 0
+
+    def handle_ping(self, message):
+        self.send(message.src, "pong")
+
+    def handle_pong(self, message):
+        self.pongs += 1
+
+
+def test_protocol_node_dispatch():
+    graph = nx.path_graph(2)
+    network = Network(graph, EventKernel())
+    a, b = Echo(0, network), Echo(1, network)
+    a.send(1, "ping")
+    network.run()
+    assert a.pongs == 1
+
+
+def test_protocol_node_unknown_kind_raises():
+    graph = nx.path_graph(2)
+    network = Network(graph, EventKernel())
+    a, b = Echo(0, network), Echo(1, network)
+    a.send(1, "mystery")
+    with pytest.raises(NotImplementedError, match="mystery"):
+        network.run()
+
+
+def test_protocol_node_timer():
+    graph = nx.path_graph(2)
+    network = Network(graph, EventKernel())
+    node = Echo(0, network)
+    Echo(1, network)
+    fired = []
+    node.set_timer(3.0, lambda: fired.append(node.now))
+    network.run()
+    assert fired == [3.0]
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message("feature", 0, 1, values=0)
+    message = Message("expand", 0, 1)
+    assert message.category == "clustering"
+    assert Message("phase1", 0, 1).category == "sync"
+    assert Message("unknown_kind", 0, 1).category == "data"
+
+
+def test_stats_snapshot_and_diff():
+    network, _ = _line_network()
+    network.send(Message("expand", 0, 1, values=2))
+    snap = network.stats.snapshot()
+    network.send(Message("expand", 1, 2, values=2))
+    network.run()
+    diff = network.stats.diff(snap)
+    assert diff.total_values == 2
+    assert network.stats.total_values == 4
+    assert network.stats.category_values("clustering") == 4
+
+
+def test_stats_reset():
+    network, _ = _line_network()
+    network.send(Message("feature", 0, 1))
+    network.stats.reset()
+    assert network.stats.total_values == 0
+    assert network.stats.total_packets == 0
+
+
+def test_stats_rejects_zero_hops():
+    network, _ = _line_network()
+    with pytest.raises(ValueError):
+        network.stats.record(Message("feature", 0, 1), hops=0)

@@ -1,0 +1,116 @@
+"""Tests for the quadtree decomposition and sentinel sets (paper §3.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    QuadTreeDecomposition,
+    grid_topology,
+    random_geometric_topology,
+)
+
+
+def test_every_node_in_exactly_one_sentinel_set(small_grid):
+    decomposition = QuadTreeDecomposition(small_grid)
+    seen = [s for level in decomposition.sentinel_sets for s in level]
+    assert sorted(seen) == sorted(small_grid.graph.nodes)
+    assert len(seen) == len(set(seen))
+
+
+def test_level_zero_has_single_sentinel(small_grid):
+    decomposition = QuadTreeDecomposition(small_grid)
+    assert len(decomposition.sentinel_sets[0]) == 1
+    assert decomposition.root == decomposition.sentinel_sets[0][0]
+
+
+def test_sentinel_set_growth_bounded_by_powers_of_four(small_grid):
+    decomposition = QuadTreeDecomposition(small_grid)
+    for level, sentinels in enumerate(decomposition.sentinel_sets):
+        assert len(sentinels) <= 4**level
+
+
+def test_root_sentinel_is_closest_to_center(small_grid):
+    decomposition = QuadTreeDecomposition(small_grid)
+    root = decomposition.root
+    cx, cy = small_grid.bounds.center
+    root_pos = small_grid.positions[root]
+    best = min(
+        (small_grid.positions[v][0] - cx) ** 2 + (small_grid.positions[v][1] - cy) ** 2
+        for v in small_grid.graph.nodes
+    )
+    assert (root_pos[0] - cx) ** 2 + (root_pos[1] - cy) ** 2 == pytest.approx(best)
+
+
+def test_quad_parent_is_exactly_one_level_up(random_topology):
+    decomposition = QuadTreeDecomposition(random_topology)
+    for level, sentinel in decomposition.iter_sentinels():
+        parent = decomposition.quad_parent[sentinel]
+        if level == 0:
+            assert parent == sentinel
+        else:
+            assert decomposition.level_of[parent] == level - 1
+
+
+def test_quad_children_consistent_with_parents(random_topology):
+    decomposition = QuadTreeDecomposition(random_topology)
+    for parent, children in decomposition.quad_children.items():
+        for child in children:
+            assert decomposition.quad_parent[child] == parent
+
+
+def test_depth_close_to_grid_bound():
+    topology = grid_topology(16, 16)  # 256 nodes, perfect power of 4
+    decomposition = QuadTreeDecomposition(topology)
+    bound = decomposition.expected_depth_bound()
+    # Footnote 2: depth <= bound + small constant for non-ideal layouts.
+    assert decomposition.depth <= math.ceil(bound) + 3
+
+
+def test_level_of_matches_sentinel_sets(random_topology):
+    decomposition = QuadTreeDecomposition(random_topology)
+    for level, sentinels in enumerate(decomposition.sentinel_sets):
+        for sentinel in sentinels:
+            assert decomposition.level_of[sentinel] == level
+
+
+def test_deterministic_construction(random_topology):
+    a = QuadTreeDecomposition(random_topology)
+    b = QuadTreeDecomposition(random_topology)
+    assert a.sentinel_sets == b.sentinel_sets
+    assert a.quad_parent == b.quad_parent
+
+
+def test_single_node_topology():
+    topology = grid_topology(1, 1)
+    decomposition = QuadTreeDecomposition(topology)
+    assert decomposition.depth == 0
+    assert decomposition.sentinel_sets == [[0]]
+    assert decomposition.quad_parent[0] == 0
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=10))
+@settings(max_examples=25, deadline=None)
+def test_partition_property_random_topologies(n, seed):
+    topology = random_geometric_topology(n, seed=seed)
+    decomposition = QuadTreeDecomposition(topology)
+    seen = [s for level in decomposition.sentinel_sets for s in level]
+    assert sorted(seen) == sorted(topology.graph.nodes)
+    for level, sentinel in decomposition.iter_sentinels():
+        parent = decomposition.quad_parent[sentinel]
+        if level > 0:
+            assert decomposition.level_of[parent] == level - 1
+
+
+def test_coincident_points_hit_depth_cap_gracefully():
+    import networkx as nx
+
+    from repro.geometry.topology import Topology
+
+    graph = nx.complete_graph(5)
+    positions = {i: (1.0, 1.0) for i in range(5)}  # all nodes co-located
+    decomposition = QuadTreeDecomposition(Topology(graph, positions))
+    seen = [s for level in decomposition.sentinel_sets for s in level]
+    assert sorted(seen) == [0, 1, 2, 3, 4]

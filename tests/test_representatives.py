@@ -1,0 +1,73 @@
+"""Tests for representative sampling (paper §1 motivation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ELinkConfig, run_elink
+from repro.core.representatives import RepresentativeSampler
+from repro.features import EuclideanMetric
+from repro.geometry import grid_topology, random_geometric_topology
+
+
+def _setup(delta=0.6):
+    topology = grid_topology(6, 6)
+    rng = np.random.default_rng(0)
+    features = {
+        v: np.array([0.1 * topology.positions[v][0] + rng.normal(0, 0.02)])
+        for v in topology.graph.nodes
+    }
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=delta)).clustering
+    sampler = RepresentativeSampler(topology.graph, clustering, metric, feature_dim=1)
+    return topology, features, clustering, sampler
+
+
+def test_plan_lists_all_roots():
+    topology, features, clustering, sampler = _setup()
+    plan = sampler.plan(base_station=0)
+    assert set(plan.representatives) == set(clustering.roots)
+    assert 0 < plan.sampled_fraction <= 1.0
+
+
+def test_plan_cost_reduction_positive():
+    topology, features, clustering, sampler = _setup()
+    plan = sampler.plan(base_station=0)
+    assert plan.representative_collection_cost < plan.full_collection_cost
+    assert plan.cost_reduction > 1.0
+
+
+def test_reconstruct_requires_all_roots():
+    topology, features, clustering, sampler = _setup()
+    with pytest.raises(ValueError, match="missing cluster roots"):
+        sampler.reconstruct({})
+
+
+def test_reconstruction_error_bounded_by_delta():
+    delta = 0.6
+    topology, features, clustering, sampler = _setup(delta)
+    errors = sampler.reconstruction_error(features)
+    assert set(errors) == set(topology.graph.nodes)
+    assert max(errors.values()) <= delta + 1e-9
+
+
+def test_representatives_have_zero_error():
+    topology, features, clustering, sampler = _setup()
+    errors = sampler.reconstruction_error(features)
+    for root in clustering.roots:
+        assert errors[root] == pytest.approx(0.0)
+
+
+@given(seed=st.integers(min_value=0, max_value=25), delta=st.floats(min_value=0.3, max_value=2.0))
+@settings(max_examples=15, deadline=None)
+def test_error_bound_property(seed, delta):
+    topology = random_geometric_topology(40, seed=seed)
+    rng = np.random.default_rng(seed + 9)
+    features = {v: rng.normal(size=2) for v in topology.graph.nodes}
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=delta)).clustering
+    sampler = RepresentativeSampler(topology.graph, clustering, metric, feature_dim=2)
+    errors = sampler.reconstruction_error(features)
+    # Pairwise delta-compactness bounds the estimate error by delta.
+    assert max(errors.values()) <= delta + 1e-9

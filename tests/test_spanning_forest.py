@@ -1,0 +1,96 @@
+"""Tests for the spanning-forest clustering baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import run_spanning_forest
+from repro.core import validate_clustering
+from repro.features import EuclideanMetric
+from repro.geometry import grid_topology, random_geometric_topology
+
+
+def test_produces_valid_delta_clustering(random_topology, random_features):
+    metric = EuclideanMetric()
+    result = run_spanning_forest(random_topology, random_features, metric, 1.5)
+    violations = validate_clustering(
+        random_topology.graph, result.clustering, random_features, metric, 1.5
+    )
+    assert violations == []
+
+
+def test_uniform_features_single_cluster():
+    topology = grid_topology(4, 4)
+    features = {v: np.zeros(1) for v in topology.graph.nodes}
+    result = run_spanning_forest(topology, features, EuclideanMetric(), 1.0)
+    # Phase-1 forest building may leave several roots (nodes whose id is a
+    # local minimum), so "few clusters", not necessarily one.
+    assert result.num_clusters <= 4
+
+
+def test_huge_steps_give_singletons():
+    topology = grid_topology(3, 3)
+    features = {v: np.array([100.0 * v]) for v in topology.graph.nodes}
+    result = run_spanning_forest(topology, features, EuclideanMetric(), 1.0)
+    assert result.num_clusters == 9
+
+
+def test_deterministic(random_topology, random_features):
+    metric = EuclideanMetric()
+    a = run_spanning_forest(random_topology, random_features, metric, 1.0)
+    b = run_spanning_forest(random_topology, random_features, metric, 1.0)
+    assert a.clustering.assignment == b.clustering.assignment
+    assert a.total_messages == b.total_messages
+
+
+def test_message_cost_linear_in_n():
+    per_node = []
+    rng = np.random.default_rng(0)
+    for side in (6, 12, 18):
+        topology = grid_topology(side, side)
+        features = {
+            v: np.array([0.1 * topology.positions[v][0] + rng.normal(0, 0.02)])
+            for v in topology.graph.nodes
+        }
+        result = run_spanning_forest(topology, features, EuclideanMetric(), 0.8)
+        per_node.append(result.total_messages / topology.num_nodes)
+    assert max(per_node) / min(per_node) < 2.0
+
+
+def test_completion_time_recorded(random_topology, random_features):
+    result = run_spanning_forest(
+        random_topology, random_features, EuclideanMetric(), 1.0
+    )
+    assert result.completion_time > 0
+
+
+def test_delta_validation(random_topology, random_features):
+    with pytest.raises(ValueError):
+        run_spanning_forest(random_topology, random_features, EuclideanMetric(), 0.0)
+
+
+def test_single_node():
+    topology = grid_topology(1, 1)
+    result = run_spanning_forest(
+        topology, {0: np.zeros(1)}, EuclideanMetric(), 1.0
+    )
+    assert result.num_clusters == 1
+
+
+@given(
+    n=st.integers(min_value=2, max_value=50),
+    seed=st.integers(min_value=0, max_value=25),
+    delta=st.floats(min_value=0.2, max_value=3.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_validity_property(n, seed, delta):
+    topology = random_geometric_topology(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    features = {v: rng.normal(size=2) for v in topology.graph.nodes}
+    metric = EuclideanMetric()
+    result = run_spanning_forest(topology, features, metric, delta)
+    violations = validate_clustering(
+        topology.graph, result.clustering, features, metric, delta
+    )
+    assert violations == []

@@ -1,0 +1,65 @@
+"""Tests for the experiment streaming driver and misc experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core import CentralizedUpdateBaseline, ELinkConfig, MaintenanceSession, run_elink
+from repro.datasets import generate_tao_dataset
+from repro.experiments.streaming import features_of, reset_models, stream_tao
+
+
+@pytest.fixture(scope="module")
+def tiny_tao():
+    return generate_tao_dataset(
+        seed=5, samples_per_day=8, training_days=5, stream_days=3
+    )
+
+
+def test_reset_models_initializes_every_node(tiny_tao):
+    models = reset_models(tiny_tao)
+    assert set(models) == set(tiny_tao.topology.graph.nodes)
+    features = features_of(models)
+    for node, feature in features.items():
+        assert feature.shape == (4,)
+        assert np.all(np.isfinite(feature))
+
+
+def test_stream_tao_returns_per_day_cumulative(tiny_tao):
+    models = reset_models(tiny_tao)
+    features = features_of(models)
+    metric = tiny_tao.metric()
+    clustering = run_elink(
+        tiny_tao.topology, features, metric, ELinkConfig(delta=0.2)
+    ).clustering
+    session = MaintenanceSession(
+        tiny_tao.topology.graph, clustering, features, metric, 0.3, 0.05
+    )
+    out = stream_tao(tiny_tao, models, {"elink": session})
+    assert list(out) == ["elink"]
+    series = out["elink"]
+    assert len(series) == 3  # one entry per stream day
+    assert all(b >= a for a, b in zip(series, series[1:]))  # cumulative
+    assert series[-1] == session.total_messages()
+
+
+def test_stream_tao_days_cap(tiny_tao):
+    models = reset_models(tiny_tao)
+    features = features_of(models)
+    baseline = CentralizedUpdateBaseline(tiny_tao.topology.graph, features, 0, 0.05)
+    out = stream_tao(tiny_tao, models, {"centralized": baseline}, days=2)
+    assert len(out["centralized"]) == 2
+
+
+def test_stream_tao_raw_observer_counts_all_measurements(tiny_tao):
+    models = reset_models(tiny_tao)
+    calls = []
+    stream_tao(tiny_tao, models, {}, days=1, raw_observer=calls.append)
+    # one call per (node, measurement) in one day
+    assert len(calls) == tiny_tao.topology.num_nodes * tiny_tao.samples_per_day
+
+
+def test_stream_tao_models_advance(tiny_tao):
+    models = reset_models(tiny_tao)
+    day_before = models[0].day
+    stream_tao(tiny_tao, models, {}, days=2)
+    assert models[0].day == day_before + 2

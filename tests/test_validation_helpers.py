@@ -1,0 +1,63 @@
+"""Tests for the shared argument-validation helpers."""
+
+import pytest
+
+from repro._validation import (
+    require_finite,
+    require_in_range,
+    require_int_at_least,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+)
+
+
+def test_require_positive():
+    assert require_positive(1.5, "x") == 1.5
+    with pytest.raises(ValueError):
+        require_positive(0, "x")
+    with pytest.raises(ValueError):
+        require_positive(-1, "x")
+    with pytest.raises(ValueError):
+        require_positive(float("inf"), "x")
+
+
+def test_require_non_negative():
+    assert require_non_negative(0, "x") == 0
+    with pytest.raises(ValueError):
+        require_non_negative(-0.1, "x")
+
+
+def test_require_finite_rejects_non_numbers():
+    with pytest.raises(TypeError):
+        require_finite("1.0", "x")
+    with pytest.raises(TypeError):
+        require_finite(True, "x")
+    with pytest.raises(ValueError):
+        require_finite(float("nan"), "x")
+
+
+def test_require_int_at_least():
+    assert require_int_at_least(3, 1, "x") == 3
+    with pytest.raises(ValueError):
+        require_int_at_least(0, 1, "x")
+    with pytest.raises(TypeError):
+        require_int_at_least(1.0, 1, "x")
+    with pytest.raises(TypeError):
+        require_int_at_least(True, 1, "x")
+
+
+def test_require_in_range():
+    assert require_in_range(0.5, 0, 1, "x") == 0.5
+    assert require_in_range(1.0, 0, 1, "x") == 1.0
+    with pytest.raises(ValueError):
+        require_in_range(1.0, 0, 1, "x", inclusive=False)
+    with pytest.raises(ValueError):
+        require_in_range(2.0, 0, 1, "x")
+
+
+def test_require_non_empty():
+    assert require_non_empty([1], "x") == [1]
+    assert require_non_empty(iter([1, 2]), "x") == [1, 2]
+    with pytest.raises(ValueError):
+        require_non_empty([], "x")

@@ -1,0 +1,76 @@
+"""Tests for the ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import ELinkConfig, run_elink
+from repro.features import EuclideanMetric
+from repro.viz import cluster_summary, render_clustering, render_field
+
+
+@pytest.fixture
+def clustered(small_grid, small_grid_features):
+    clustering = run_elink(
+        small_grid, small_grid_features, EuclideanMetric(), ELinkConfig(delta=0.6)
+    ).clustering
+    return small_grid, small_grid_features, clustering
+
+
+def test_render_clustering_shape_and_glyphs(clustered):
+    topology, features, clustering = clustered
+    art = render_clustering(topology, clustering, width=20)
+    lines = art.split("\n")
+    assert all(len(line) == 20 for line in lines)
+    glyphs = {ch for line in lines for ch in line if ch != " "}
+    # The number of distinct glyphs drawn is bounded by the cluster count.
+    assert 1 <= len(glyphs) <= clustering.num_clusters
+
+
+def test_render_clustering_same_cluster_same_glyph(clustered):
+    topology, features, clustering = clustered
+    # With one character per grid node, each node maps to a unique cell.
+    art = render_clustering(topology, clustering, width=5, height=5)
+    rows = art.split("\n")
+    glyph_at = {}
+    for node, (x, y) in topology.positions.items():
+        r = 4 - int(y)
+        c = int(x)
+        glyph_at[node] = rows[r][c]
+    for a in topology.graph.nodes:
+        for b in topology.graph.nodes:
+            if clustering.root_of(a) == clustering.root_of(b):
+                assert glyph_at[a] == glyph_at[b]
+
+
+def test_render_field_uses_ramp(small_grid, small_grid_features):
+    values = {v: small_grid_features[v][0] for v in small_grid.graph.nodes}
+    art = render_field(small_grid, values, width=10)
+    assert art.strip()  # non-empty
+    # Low and high field values render as different glyphs.
+    chars = {ch for line in art.split("\n") for ch in line}
+    assert len(chars) > 1
+
+
+def test_cluster_summary_lists_clusters(clustered):
+    topology, features, clustering = clustered
+    text = cluster_summary(clustering, features)
+    assert f"{clustering.num_clusters} clusters" in text
+    assert "size=" in text
+
+
+def test_render_width_validation(clustered):
+    topology, features, clustering = clustered
+    with pytest.raises(ValueError):
+        render_clustering(topology, clustering, width=1)
+
+
+def test_single_node_render():
+    from repro.geometry import grid_topology
+
+    topology = grid_topology(1, 1)
+    features = {0: np.zeros(1)}
+    clustering = run_elink(
+        topology, features, EuclideanMetric(), ELinkConfig(delta=1.0)
+    ).clustering
+    art = render_clustering(topology, clustering, width=4)
+    assert "A" in art
