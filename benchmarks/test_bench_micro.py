@@ -12,6 +12,8 @@ from repro.features import EuclideanMetric
 from repro.geometry import grid_topology
 from repro.index import build_backbone, build_mtree
 from repro.queries import RangeQueryEngine
+from repro.sim import EventKernel, Message, Network, ProtocolNode
+from repro.sim.radio import LossyLinkModel
 
 
 def _gradient_instance(side):
@@ -57,6 +59,66 @@ def test_mtree_build(benchmark):
     clustering = run_elink(topology, features, metric, ELinkConfig(delta=0.4)).clustering
     index = benchmark(build_mtree, clustering, features, metric)
     assert index.build_messages > 0
+
+
+class _Sink(ProtocolNode):
+    """Counts deliveries; the cheapest possible endpoint."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network, np.zeros(1))
+        self.count = 0
+
+    def handle_message(self, message):
+        self.count += 1
+
+
+_LINK_MODELS = {
+    "fast": {},  # jitter=0, no loss: the zero-overhead delivery path
+    "jittery": {"jitter": 0.3},
+    "lossy": {"loss": lambda: LossyLinkModel(0.2, seed=0)},
+}
+
+
+def _delivery_network(model, side=12):
+    kwargs = dict(_LINK_MODELS[model])
+    if "loss" in kwargs:
+        kwargs["loss"] = kwargs["loss"]()
+    topology = grid_topology(side, side)
+    network = Network(topology.graph, EventKernel(), **kwargs)
+    nodes = {v: _Sink(v, network) for v in topology.graph.nodes}
+    return network, nodes
+
+
+@pytest.mark.parametrize("model", ["fast", "jittery", "lossy"])
+def test_send_throughput(benchmark, model):
+    """Single-hop delivery throughput: fast path vs jitter vs ARQ loss."""
+    network, nodes = _delivery_network(model)
+    edges = list(network.graph.edges)
+
+    def burst():
+        for a, b in edges:
+            network.send(Message("feature", a, b))
+        network.run()
+
+    benchmark(burst)
+    assert sum(n.count for n in nodes.values()) > 0
+
+
+@pytest.mark.parametrize("model", ["fast", "jittery", "lossy"])
+def test_route_throughput(benchmark, model):
+    """Multi-hop routing throughput (shortest-path cache + per-hop model)."""
+    network, nodes = _delivery_network(model)
+    corners = [0, 11, 132, 143]
+
+    def burst():
+        for src in corners:
+            for dst in corners:
+                if src != dst:
+                    network.route(Message("query", src, dst, values=4))
+        network.run()
+
+    benchmark(burst)
+    assert sum(n.count for n in nodes.values()) > 0
 
 
 def test_range_query_latency(benchmark):

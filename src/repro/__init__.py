@@ -30,6 +30,7 @@ from repro.baselines import (
     HierarchicalResult,
     SpanningForestResult,
     SpectralResult,
+    SpectralSolver,
     centralized_collection_cost,
     run_hierarchical,
     run_spanning_forest,
@@ -125,6 +126,7 @@ __all__ = [
     "RepresentativeSampler",
     "SpanningForestResult",
     "SpectralResult",
+    "SpectralSolver",
     "TAO_WEIGHTS",
     "TagEngine",
     "TaoNodeModel",

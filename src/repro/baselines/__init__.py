@@ -2,6 +2,7 @@
 
 from repro.baselines.centralized import (
     SpectralResult,
+    SpectralSolver,
     centralized_collection_cost,
     spectral_clustering_search,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "SpanningForestNode",
     "SpanningForestResult",
     "SpectralResult",
+    "SpectralSolver",
     "centralized_collection_cost",
     "run_hierarchical",
     "run_spanning_forest",

@@ -23,12 +23,21 @@ node sends its ``dim`` coefficients to the base station over multi-hop
 routes — ``Σ_i dim · hops(i, base)`` — plus the slack-triggered coefficient
 updates modelled by
 :class:`repro.core.maintenance.CentralizedUpdateBaseline`.
+
+Performance: everything about a spectral attempt at a given *k* — the
+affinity matrix, the Laplacian eigendecomposition, the k-means labels, the
+connected-component split, even the resulting :class:`Clustering` — is
+independent of δ; only the final δ-compactness check is not.  A
+:class:`SpectralSolver` therefore caches all of it per (graph, features)
+instance, so a δ sweep (Figs 8, 9, 11) pays for one eigendecomposition and
+one k-means per distinct *k* instead of one per (δ, k) pair.  This is the
+change that restores Fig 9 to the paper's 2500-sensor × 5-topology scale.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import Hashable, Iterable, Mapping
 
 import networkx as nx
 import numpy as np
@@ -36,6 +45,9 @@ import numpy as np
 from repro._validation import require_int_at_least, require_positive
 from repro.core.delta import Clustering, check_delta_compact, clustering_from_assignment
 from repro.features.metrics import Metric
+
+#: Slop used by every δ-compactness comparison (matches check_delta_compact).
+_DELTA_TOLERANCE = 1e-9
 
 
 @dataclass
@@ -61,17 +73,138 @@ def centralized_collection_cost(
     return sum(feature_dim * max(h, 1) for node, h in hops.items() if node != base_station)
 
 
+class SpectralSolver:
+    """δ-independent spectral state, reusable across a δ sweep.
+
+    Construct once per (graph, features, metric) instance and pass to
+    :func:`spectral_clustering_search` for every δ; all heavy state — the
+    affinity matrix, the eigendecomposition, per-k partitions and
+    clusterings — is computed once and shared.  Returned clusterings are
+    cached objects; treat them as immutable (everything else in this
+    library already does).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        features: Mapping[Hashable, np.ndarray],
+        metric: Metric,
+        *,
+        affinity: str = "gaussian",
+        seed: int = 0,
+    ):
+        if affinity not in ("gaussian", "distance"):
+            raise ValueError(f"affinity must be 'gaussian' or 'distance', got {affinity!r}")
+        self.graph = graph
+        self.features = features
+        self.metric = metric
+        self.affinity = affinity
+        self.seed = seed
+        self.nodes = list(graph.nodes)
+        if not self.nodes:
+            raise ValueError("graph must have at least one node")
+        self.index_of = {node: i for i, node in enumerate(self.nodes)}
+        self._affinity_matrix: np.ndarray | None = None
+        self._embedding_cache: dict[str, np.ndarray] = {}
+        # Per-k caches (everything here is δ-independent).
+        self._assignments: dict[int, dict[Hashable, Hashable]] = {}
+        self._member_indices: dict[int, list[np.ndarray]] = {}
+        self._member_nodes: dict[int, list[list[Hashable]]] = {}
+        self._clusterings: dict[int, Clustering] = {}
+        self._feature_matrix = self._build_feature_matrix()
+
+    def _build_feature_matrix(self) -> np.ndarray | None:
+        try:
+            matrix = np.asarray(
+                [np.atleast_1d(np.asarray(self.features[v], dtype=np.float64)) for v in self.nodes]
+            )
+        except (TypeError, ValueError):
+            return None  # non-vector features (e.g. MatrixMetric node ids)
+        if matrix.ndim != 2:
+            return None
+        return matrix
+
+    @property
+    def feature_dim(self) -> int:
+        """Dimension of one node's coefficient vector."""
+        return int(np.atleast_1d(np.asarray(self.features[self.nodes[0]])).shape[0])
+
+    def affinity_matrix(self) -> np.ndarray:
+        """The edge affinity matrix (computed once, then cached)."""
+        if self._affinity_matrix is None:
+            self._affinity_matrix = _edge_affinity(
+                self.graph, self.features, self.metric, self.nodes, self.index_of, self.affinity
+            )
+        return self._affinity_matrix
+
+    def _partition_members(self, k: int) -> tuple[list[np.ndarray], list[list[Hashable]]]:
+        """Connected components of the k-way spectral partition, as index
+        arrays (for the vectorized δ-check) and node lists."""
+        if k not in self._member_indices:
+            labels = _spectral_partition(self.affinity_matrix(), k, self.seed, self._embedding_cache)
+            assignment = _components_assignment(self.graph, self.nodes, labels)
+            members: dict[Hashable, list[Hashable]] = {}
+            for node, root in assignment.items():
+                members.setdefault(root, []).append(node)
+            self._assignments[k] = assignment
+            self._member_nodes[k] = list(members.values())
+            index_of = self.index_of
+            self._member_indices[k] = [
+                np.fromiter((index_of[v] for v in nodes), dtype=np.intp, count=len(nodes))
+                for nodes in self._member_nodes[k]
+            ]
+        return self._member_indices[k], self._member_nodes[k]
+
+    def _compact(self, idx: np.ndarray, nodes: list[Hashable], delta: float) -> bool:
+        """δ-compactness of one cluster, vectorized where the metric allows."""
+        if idx.shape[0] <= 1:
+            return True
+        fmatrix = self._feature_matrix
+        if fmatrix is None:
+            return check_delta_compact(nodes, self.features, self.metric, delta) is None
+        rows = fmatrix[idx]
+        if rows.shape[1] == 1:
+            # 1-d features: the vectorized metrics are all monotone in
+            # |a - b|, so the max pairwise distance is attained by the
+            # value range — an O(m) check instead of O(m²).
+            extremes = np.array([[rows.min()], [rows.max()]])
+            distances = self.metric.pairwise_matrix(extremes)
+            if distances is not None:
+                return float(distances[0, 1]) <= delta + _DELTA_TOLERANCE
+        distances = self.metric.pairwise_matrix(rows)
+        if distances is None:
+            return check_delta_compact(nodes, self.features, self.metric, delta) is None
+        return not bool(np.any(distances > delta + _DELTA_TOLERANCE))
+
+    def attempt(self, k: int, delta: float) -> Clustering | None:
+        """The k-way spectral clustering if it satisfies δ, else None."""
+        member_indices, member_nodes = self._partition_members(k)
+        for idx, nodes in zip(member_indices, member_nodes):
+            if not self._compact(idx, nodes, delta):
+                return None
+        if k not in self._clusterings:
+            self._clusterings[k] = clustering_from_assignment(
+                self.graph, self._assignments[k], self.features
+            )
+        return self._clusterings[k]
+
+    def collection_cost(self, base_station: Hashable) -> int:
+        """Coefficient-shipping cost to *base_station* (δ-independent)."""
+        return centralized_collection_cost(self.graph, base_station, self.feature_dim)
+
+
 def spectral_clustering_search(
-    graph: nx.Graph,
-    features: Mapping[Hashable, np.ndarray],
-    metric: Metric,
-    delta: float,
+    graph: nx.Graph | None = None,
+    features: Mapping[Hashable, np.ndarray] | None = None,
+    metric: Metric | None = None,
+    delta: float = 0.0,
     *,
     base_station: Hashable | None = None,
     affinity: str = "gaussian",
     seed: int = 0,
     max_k: int | None = None,
     search: str = "linear",
+    solver: SpectralSolver | None = None,
 ) -> SpectralResult:
     """Smallest-k spectral δ-clustering at the base station (paper §8.3).
 
@@ -83,33 +216,27 @@ def spectral_clustering_search(
     ``search="doubling"`` doubles k to find a feasible value and then
     bisects for the smallest one (feasibility is monotone enough in
     practice), which matters on 2500-node inputs.
+
+    Pass a prebuilt :class:`SpectralSolver` when sweeping δ over one
+    dataset — the eigendecomposition and the per-k partitions are then
+    computed once for the whole sweep instead of once per δ.
     """
     require_positive(delta, "delta")
     if search not in ("linear", "doubling"):
         raise ValueError(f"search must be 'linear' or 'doubling', got {search!r}")
-    nodes = list(graph.nodes)
+    if solver is None:
+        if graph is None or features is None or metric is None:
+            raise ValueError("either a solver or (graph, features, metric) is required")
+        solver = SpectralSolver(graph, features, metric, affinity=affinity, seed=seed)
+    nodes = solver.nodes
     n = len(nodes)
-    if n == 0:
-        raise ValueError("graph must have at least one node")
     if base_station is None:
         base_station = nodes[0]
     if max_k is None:
         max_k = n
-    index_of = {node: i for i, node in enumerate(nodes)}
-
-    affinity_matrix = _edge_affinity(graph, features, metric, nodes, index_of, affinity)
-    embedding_cache: dict[str, np.ndarray] = {}
 
     def attempt(k: int) -> Clustering | None:
-        labels = _spectral_partition(affinity_matrix, k, seed, embedding_cache)
-        assignment = _components_assignment(graph, nodes, labels)
-        members: dict[Hashable, list[Hashable]] = {}
-        for node, root in assignment.items():
-            members.setdefault(root, []).append(node)
-        for cluster_nodes in members.values():
-            if check_delta_compact(cluster_nodes, features, metric, delta) is not None:
-                return None
-        return clustering_from_assignment(graph, assignment, features)
+        return solver.attempt(k, delta)
 
     accepted: Clustering | None = None
     k_used = n
@@ -149,11 +276,12 @@ def spectral_clustering_search(
         accepted, k_used = feasible, (feasible_k if feasible_k is not None else n)
     if accepted is None:
         # Degenerate fallback: singletons always satisfy the δ-condition.
-        accepted = clustering_from_assignment(graph, {v: v for v in nodes}, features)
+        accepted = clustering_from_assignment(
+            solver.graph, {v: v for v in nodes}, solver.features
+        )
         k_used = n
 
-    dim = int(np.atleast_1d(np.asarray(features[nodes[0]])).shape[0])
-    messages = centralized_collection_cost(graph, base_station, dim)
+    messages = solver.collection_cost(base_station)
     return SpectralResult(accepted, k_used, messages)
 
 
@@ -230,31 +358,85 @@ def _kmeans(points: np.ndarray, k: int, seed: int, iterations: int = 50) -> np.n
         centers[c] = points[choice]
         closest = np.minimum(closest, np.sum((points - centers[c]) ** 2, axis=1))
     labels = np.zeros(n, dtype=int)
+    # Distance columns are refreshed per center, and only for centers that
+    # moved since the previous iteration: an unchanged center yields a
+    # bitwise-identical column, so skipping it cannot alter the matrix (and
+    # per-center columns match the (n, k, d) broadcast bit for bit — the sum
+    # reduces the same d elements in the same order).  Lloyd's converges
+    # centre by centre, so late iterations touch only a few columns.
+    distances = np.empty((n, k))
+    changed: Iterable[int] = range(k)
     for iteration in range(iterations):
-        distances = np.sum((points[:, None, :] - centers[None, :, :]) ** 2, axis=2)
+        for c in changed:
+            diff = points - centers[c]
+            distances[:, c] = np.sum(diff**2, axis=1)
         new_labels = distances.argmin(axis=1)
         if iteration > 0 and np.array_equal(new_labels, labels):
             break
         labels = new_labels
+        # Group points by label via one stable argsort instead of k boolean
+        # masks; slices select member rows in the same ascending-index
+        # order a mask would, so each mean is bitwise identical.
+        counts = np.bincount(labels, minlength=k)
+        order = np.argsort(labels, kind="stable")
+        start = 0
+        moved = []
         for c in range(k):
-            mask = labels == c
-            if mask.any():
-                centers[c] = points[mask].mean(axis=0)
+            count = counts[c]
+            if count:
+                stop = start + count
+                new_center = points[order[start:stop]].mean(axis=0)
+                start = stop
+                if not np.array_equal(new_center, centers[c]):
+                    centers[c] = new_center
+                    moved.append(c)
+        changed = moved
     return labels
 
 
 def _components_assignment(
     graph: nx.Graph, nodes: list[Hashable], labels: np.ndarray
 ) -> dict[Hashable, Hashable]:
-    """Split each spectral part into connected components; root = min-id."""
+    """Split each spectral part into connected components; root = min-id.
+
+    Components are found with a BFS that mirrors
+    ``nx.connected_components`` on the induced subgraph — same seed order
+    (graph node order filtered to the part) and same set-construction
+    order — without materializing a subgraph view per part.
+    """
     assignment: dict[Hashable, Hashable] = {}
     by_label: dict[int, list[Hashable]] = {}
     for node, label in zip(nodes, labels):
         by_label.setdefault(int(label), []).append(node)
+    adj = graph._adj
     for cluster_nodes in by_label.values():
-        sub = graph.subgraph(cluster_nodes)
-        for component in nx.connected_components(sub):
+        member_set = set(cluster_nodes)
+        done: set[Hashable] = set()
+        for source in cluster_nodes:
+            if source in done:
+                continue
+            component = _member_bfs(adj, member_set, source)
+            done |= component
             root = min(component, key=repr)
             for node in component:
                 assignment[node] = root
     return assignment
+
+
+def _member_bfs(
+    adj: Mapping[Hashable, Mapping[Hashable, dict]],
+    member_set: set[Hashable],
+    source: Hashable,
+) -> set[Hashable]:
+    """BFS within *member_set*; replicates ``nx._plain_bfs`` add order."""
+    seen = {source}
+    nextlevel = [source]
+    while nextlevel:
+        thislevel = nextlevel
+        nextlevel = []
+        for v in thislevel:
+            for w in adj[v]:
+                if w in member_set and w not in seen:
+                    seen.add(w)
+                    nextlevel.append(w)
+    return seen

@@ -48,8 +48,8 @@ import numpy as np
 
 from repro._validation import require_positive
 from repro.core.delta import Clustering, clustering_from_assignment
-from repro.features.metrics import Metric
-from repro.sim.messages import Message
+from repro.features.metrics import Metric, as_feature
+from repro.sim.messages import CATEGORY_DATA
 from repro.sim.stats import MessageStats
 
 
@@ -95,6 +95,15 @@ def run_hierarchical(
     stats = MessageStats()
     dim = int(np.atleast_1d(np.asarray(features[nodes[0]])).shape[0])
 
+    # Hot-loop lookup tables: node reprs (tie-break keys), adjacency lists
+    # and the edge list are all fixed for the run, so build them once
+    # instead of re-deriving them every round.
+    repr_of = {v: repr(v) for v in nodes}
+    adj = {v: list(graph.adj[v]) for v in nodes}
+    edges = list(graph.edges)
+    feature_rows, index_of = _vectorized_features(nodes, features, metric)
+    root_distance = _RootDistanceCache(features, metric)
+
     # Cluster state: root -> members; per-node root; per-cluster diameter.
     root_of: dict[Hashable, Hashable] = {v: v for v in nodes}
     members: dict[Hashable, set[Hashable]] = {v: {v} for v in nodes}
@@ -103,22 +112,22 @@ def run_hierarchical(
     rounds = 0
     while rounds < max_rounds:
         rounds += 1
-        adjacency = _cluster_adjacency(graph, root_of)
+        adjacency = _cluster_adjacency(edges, root_of, repr_of)
         if not adjacency:
             break
         # Candidate evaluation with its communication charge.
         fitness: dict[tuple[Hashable, Hashable], float] = {}
         for (ri, rj), boundary in adjacency.items():
             bi, bj = boundary
-            stats.record(Message("feature", bi, bj, values=dim + 1), hops=1)
-            stats.record(Message("feature", bj, bi, values=dim + 1), hops=1)
-            hops_i = _tree_hops(graph, members[ri], bi, ri)
-            hops_j = _tree_hops(graph, members[rj], bj, rj)
+            stats.charge("feature", CATEGORY_DATA, dim + 1)
+            stats.charge("feature", CATEGORY_DATA, dim + 1)
+            hops_i = _tree_hops(adj, members[ri], bi, ri)
+            hops_j = _tree_hops(adj, members[rj], bj, rj)
             if hops_i:
-                stats.record(Message("feature", bi, ri, values=dim + 1), hops=hops_i)
+                stats.charge("feature", CATEGORY_DATA, dim + 1, hops_i)
             if hops_j:
-                stats.record(Message("feature", bj, rj, values=dim + 1), hops=hops_j)
-            d_roots = metric.distance(features[ri], features[rj])
+                stats.charge("feature", CATEGORY_DATA, dim + 1, hops_j)
+            d_roots = root_distance(ri, rj)
             if diameter[ri] + d_roots + diameter[rj] > delta:
                 continue
             mi, mj = diameter[ri], diameter[rj]
@@ -134,38 +143,41 @@ def run_hierarchical(
         for (ri, rj), fit in fitness.items():
             for a, b in ((ri, rj), (rj, ri)):
                 current = best.get(a)
-                if current is None or (fit, repr(b)) < (current[0], repr(current[1])):
+                if current is None or (fit, repr_of[b]) < (current[0], repr_of[current[1]]):
                     best[a] = (fit, b)
 
         merged_any = False
         absorbed: set[Hashable] = set()
-        for ri in sorted(best, key=repr):
+        for ri in sorted(best, key=repr_of.__getitem__):
             if ri in absorbed:
                 continue
             fit, rj = best[ri]
             if rj in absorbed or best.get(rj, (None, None))[1] != ri:
                 continue
             # Mutual best pair: merge rj into ri (deterministic direction).
-            ri_, rj_ = (ri, rj) if repr(ri) < repr(rj) else (rj, ri)
-            d_roots = metric.distance(features[ri_], features[rj_])
+            ri_, rj_ = (ri, rj) if repr_of[ri] < repr_of[rj] else (rj, ri)
+            d_roots = root_distance(ri_, rj_)
             if diameter_rule == "exact":
                 # Leader-side data exchange: ship the absorbed cluster's
                 # member features to the surviving leader.
-                leader_hops = _leader_distance(graph, members, adjacency, ri_, rj_)
-                stats.record(
-                    Message("feature", rj_, ri_, values=dim * len(members[rj_])),
-                    hops=leader_hops,
+                leader_hops = _leader_distance(adj, members, adjacency, ri_, rj_)
+                stats.charge(
+                    "feature", CATEGORY_DATA, dim * len(members[rj_]), leader_hops
                 )
                 merged_members = members[ri_] | members[rj_]
-                new_diameter = _exact_diameter(merged_members, features, metric)
+                if feature_rows is not None:
+                    rows = feature_rows[[index_of[m] for m in merged_members]]
+                    new_diameter = float(metric.pairwise_matrix(rows).max())
+                else:
+                    new_diameter = _exact_diameter(merged_members, features, metric)
             elif diameter_rule == "safe":
                 new_diameter = diameter[ri_] + d_roots + diameter[rj_]
             else:
                 mi, mj = diameter[ri_], diameter[rj_]
                 new_diameter = max(mi, mj + d_roots) if mi >= mj else max(mj, mi + d_roots)
-            stats.record(Message("feature", ri_, rj_, values=1), hops=2)  # commit
-            stats.record(
-                Message("feature", ri_, rj_, values=1), hops=max(len(members[rj_]), 1)
+            stats.charge("feature", CATEGORY_DATA, 1, 2)  # commit
+            stats.charge(
+                "feature", CATEGORY_DATA, 1, max(len(members[rj_]), 1)
             )  # new-root broadcast over the absorbed tree
             for member in members[rj_]:
                 root_of[member] = ri_
@@ -183,20 +195,68 @@ def run_hierarchical(
     return HierarchicalResult(clustering, stats, rounds)
 
 
+def _vectorized_features(
+    nodes: list[Hashable],
+    features: Mapping[Hashable, np.ndarray],
+    metric: Metric,
+) -> tuple[np.ndarray | None, dict[Hashable, int] | None]:
+    """(feature matrix, node -> row index) when *metric* vectorizes, else (None, None).
+
+    Metrics whose features are not coercible vectors (e.g. ``MatrixMetric``
+    node ids) or that lack :meth:`Metric.pairwise_matrix` fall back to the
+    scalar :func:`_exact_diameter` path.
+    """
+    try:
+        rows = np.asarray([as_feature(features[v]) for v in nodes], dtype=np.float64)
+    except (TypeError, ValueError, KeyError):
+        return None, None
+    if metric.pairwise_matrix(rows[:1]) is None:
+        return None, None
+    return rows, {v: i for i, v in enumerate(nodes)}
+
+
+class _RootDistanceCache:
+    """Memoized root-feature distances (features are fixed for the run).
+
+    Adjacent cluster pairs persist across merge rounds, so the same root
+    pair is evaluated many times; the distance never changes.
+    """
+
+    def __init__(self, features: Mapping[Hashable, np.ndarray], metric: Metric):
+        self._features = features
+        self._metric = metric
+        self._cache: dict[tuple[Hashable, Hashable], float] = {}
+
+    def __call__(self, ri: Hashable, rj: Hashable) -> float:
+        key = (ri, rj)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._metric.distance(self._features[ri], self._features[rj])
+            self._cache[key] = cached
+            self._cache[(rj, ri)] = cached
+        return cached
+
+
 def _cluster_adjacency(
-    graph: nx.Graph, root_of: Mapping[Hashable, Hashable]
+    edges: list[tuple[Hashable, Hashable]],
+    root_of: Mapping[Hashable, Hashable],
+    repr_of: Mapping[Hashable, str],
 ) -> dict[tuple[Hashable, Hashable], tuple[Hashable, Hashable]]:
     """Adjacent cluster pairs -> one (deterministic) boundary edge each."""
     adjacency: dict[tuple[Hashable, Hashable], tuple[Hashable, Hashable]] = {}
-    for a, b in graph.edges:
+    edge_rank: dict[tuple[Hashable, Hashable], tuple[str, str]] = {}
+    for a, b in edges:
         ra, rb = root_of[a], root_of[b]
         if ra == rb:
             continue
-        key = (ra, rb) if repr(ra) < repr(rb) else (rb, ra)
-        edge = (a, b) if key == (ra, rb) else (b, a)
-        current = adjacency.get(key)
-        if current is None or (repr(edge[0]), repr(edge[1])) < (repr(current[0]), repr(current[1])):
+        if repr_of[ra] < repr_of[rb]:
+            key, edge = (ra, rb), (a, b)
+        else:
+            key, edge = (rb, ra), (b, a)
+        rank = (repr_of[edge[0]], repr_of[edge[1]])
+        if key not in adjacency or rank < edge_rank[key]:
             adjacency[key] = edge
+            edge_rank[key] = rank
     return adjacency
 
 
@@ -217,7 +277,7 @@ def _exact_diameter(
 
 
 def _leader_distance(
-    graph: nx.Graph,
+    adj: Mapping[Hashable, list[Hashable]],
     members: Mapping[Hashable, set[Hashable]],
     adjacency: Mapping[tuple[Hashable, Hashable], tuple[Hashable, Hashable]],
     ri: Hashable,
@@ -230,16 +290,37 @@ def _leader_distance(
         return 1
     b_first, b_second = edge
     first, second = key
-    hops_first = _tree_hops(graph, members[first], b_first, first)
-    hops_second = _tree_hops(graph, members[second], b_second, second)
+    hops_first = _tree_hops(adj, members[first], b_first, first)
+    hops_second = _tree_hops(adj, members[second], b_second, second)
     return max(hops_first + 1 + hops_second, 1)
 
 
 def _tree_hops(
-    graph: nx.Graph, cluster_members: set[Hashable], src: Hashable, dst: Hashable
+    adj: Mapping[Hashable, list[Hashable]],
+    cluster_members: set[Hashable],
+    src: Hashable,
+    dst: Hashable,
 ) -> int:
-    """Hop distance within the cluster's induced subgraph."""
+    """Hop distance within the cluster's induced subgraph.
+
+    Level-order BFS restricted to *cluster_members*; hop distance is
+    unique, so this matches ``nx.shortest_path_length`` on the induced
+    subgraph without materializing a subgraph view per query.
+    """
     if src == dst:
         return 0
-    sub = graph.subgraph(cluster_members)
-    return nx.shortest_path_length(sub, src, dst)
+    seen = {src}
+    frontier = [src]
+    hops = 0
+    while frontier:
+        hops += 1
+        next_frontier = []
+        for u in frontier:
+            for w in adj[u]:
+                if w == dst:
+                    return hops
+                if w not in seen and w in cluster_members:
+                    seen.add(w)
+                    next_frontier.append(w)
+        frontier = next_frontier
+    raise nx.NetworkXNoPath(f"no path between {src!r} and {dst!r} within the cluster")

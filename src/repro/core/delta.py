@@ -20,6 +20,7 @@ checks the full δ-clustering definition and is used throughout the tests.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
@@ -260,14 +261,25 @@ def clustering_from_assignment(
     parent: dict[Hashable, Hashable] = {}
     final_root_features: dict[Hashable, np.ndarray] = {}
 
+    # Components and BFS trees are computed with plain dict-adjacency BFS
+    # mirroring the networkx equivalents on induced subgraph views (same
+    # seed order — graph node order filtered to the cluster — and same
+    # traversal order), without building a subgraph view per cluster.
+    adj = graph._adj
+    graph_order = {node: i for i, node in enumerate(graph.nodes)}
+
     for root, nodes in members.items():
         base_feature = (
             np.asarray(root_features[root])
             if root_features is not None and root in root_features
             else np.asarray(features[root])
         )
-        sub = graph.subgraph(nodes)
-        for component in nx.connected_components(sub):
+        member_set = set(nodes)
+        done: set[Hashable] = set()
+        seeds = sorted(
+            (v for v in nodes if v in graph_order), key=graph_order.__getitem__
+        )
+        for component in _member_components(adj, member_set, seeds, done):
             comp_nodes = set(component)
             if root in comp_nodes:
                 comp_root = root
@@ -288,6 +300,38 @@ def clustering_from_assignment(
                 parent[node] = par
                 final_assignment[node] = comp_root
     return Clustering(final_assignment, parent, final_root_features)
+
+
+def _member_components(
+    adj: Mapping[Hashable, Mapping[Hashable, dict]],
+    member_set: set[Hashable],
+    seeds: list[Hashable],
+    done: set[Hashable],
+) -> list[set[Hashable]]:
+    """Connected components of the subgraph induced by *member_set*.
+
+    Mirrors ``nx.connected_components`` on ``graph.subgraph(member_set)``:
+    *seeds* must be in graph node order, and the BFS replicates
+    ``nx._plain_bfs`` set-construction order so downstream iteration over
+    the component sets matches the networkx implementation exactly.
+    """
+    components: list[set[Hashable]] = []
+    for source in seeds:
+        if source in done:
+            continue
+        seen = {source}
+        nextlevel = [source]
+        while nextlevel:
+            thislevel = nextlevel
+            nextlevel = []
+            for v in thislevel:
+                for w in adj[v]:
+                    if w in member_set and w not in seen:
+                        seen.add(w)
+                        nextlevel.append(w)
+        done |= seen
+        components.append(seen)
+    return components
 
 
 def _component_tree(
@@ -320,8 +364,18 @@ def _component_tree(
                     break
         if valid:
             return candidate
-    sub = graph.subgraph(comp_nodes)
+    # BFS tree over the induced subgraph: each child's parent is the first
+    # node (in FIFO order, adjacency order within a node) that reaches it —
+    # the same assignment ``nx.bfs_predecessors`` produces on the subgraph.
+    adj = graph._adj
     tree = {comp_root: comp_root}
-    for child, par in nx.bfs_predecessors(sub, comp_root):
-        tree[child] = par
+    visited = {comp_root}
+    queue = deque([comp_root])
+    while queue:
+        node = queue.popleft()
+        for child in adj[node]:
+            if child in comp_nodes and child not in visited:
+                visited.add(child)
+                tree[child] = node
+                queue.append(child)
     return tree

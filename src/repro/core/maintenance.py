@@ -28,6 +28,7 @@ make, and the experiments measure it (Figs 10–11).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
@@ -37,7 +38,7 @@ import numpy as np
 from repro._validation import require_non_negative, require_positive
 from repro.core.delta import Clustering, clustering_from_assignment
 from repro.features.metrics import Metric
-from repro.sim.messages import Message
+from repro.sim.messages import _DEFAULT_CATEGORIES, CATEGORY_DATA, Message
 from repro.sim.stats import MessageStats
 
 
@@ -145,16 +146,18 @@ class MaintenanceSession:
         previous = self.features[node]
         root_feature = self.stored_root[node]
         dim = new.shape[0]
-
-        d_prev_new = self.metric.distance(previous, new)
-        d_new_root = self.metric.distance(new, root_feature)
-        d_prev_root = self.metric.distance(previous, root_feature)
-
-        a1 = d_prev_new <= self.slack
-        a2 = (d_new_root - d_prev_root) <= self.slack
-        a3 = d_new_root <= self.delta - self.slack
+        metric = self.metric
         self.features[node] = new.copy()
-        if a1 or a2 or a3:
+
+        # Conditions A1-A3 are OR-ed, so evaluate lazily: each distance is a
+        # pure function of fixed inputs, and most updates satisfy A1 or A3
+        # without ever needing the remaining distances.
+        if metric.distance(previous, new) <= self.slack:  # A1
+            return "silent"
+        d_new_root = metric.distance(new, root_feature)
+        if d_new_root <= self.delta - self.slack:  # A3
+            return "silent"
+        if (d_new_root - metric.distance(previous, root_feature)) <= self.slack:  # A2
             return "silent"
 
         # All conditions violated: fetch the fresh root feature over the
@@ -335,7 +338,7 @@ class MaintenanceSession:
 
     def _charge(self, kind: str, values: int, hops: int) -> None:
         if hops > 0:
-            self.stats.record(Message(kind, None, None, values=values), hops=hops)
+            self.stats.charge(kind, _DEFAULT_CATEGORIES.get(kind, CATEGORY_DATA), values, hops)
 
 
 class CentralizedUpdateBaseline:
@@ -376,7 +379,10 @@ class CentralizedUpdateBaseline:
         """Absorb one coefficient update; ship to base if beyond the slack."""
         new = np.asarray(new_feature, dtype=np.float64)
         before = self.stats.total_values
-        drift = float(np.linalg.norm(new - self._last_sent[node]))
+        diff = new - self._last_sent[node]
+        # sqrt(dot) is bitwise identical to np.linalg.norm for 1-d float64
+        # and skips the norm wrapper on this per-update hot path.
+        drift = math.sqrt(np.dot(diff, diff))
         if drift > self.slack:
             hops = max(self._hops[node], 1)
             self.stats.record(

@@ -7,6 +7,21 @@ scales:
 
 - ``"full"`` — the paper's parameters (used by the benchmark harness),
 - ``"quick"`` — shrunk datasets for tests and smoke runs.
+
+**Trial protocol** (optional, for the parallel runner): an experiment that
+decomposes into independent work units — e.g. one per random topology —
+may additionally expose
+
+- ``trial_specs(profile) -> list`` — picklable specs, deterministically
+  seeded (each spec carries its own seed, derived from the experiment
+  seed, never from pool scheduling order);
+- ``run_trial(spec, profile) -> result`` — one picklable unit of work;
+- ``combine_trials(results, profile) -> ExperimentTable`` — results are
+  passed in spec order, so combination is order-deterministic.
+
+``run()`` must be implemented *in terms of* these three, which makes
+serial and ``--jobs N`` runs produce identical tables by construction.
+:func:`supports_trials` tests for the protocol.
 """
 
 from __future__ import annotations
@@ -22,6 +37,14 @@ def check_profile(profile: str) -> str:
     if profile not in PROFILES:
         raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
     return profile
+
+
+def supports_trials(module: Any) -> bool:
+    """True when *module* implements the trial protocol (see module doc)."""
+    return all(
+        callable(getattr(module, attr, None))
+        for attr in ("trial_specs", "run_trial", "combine_trials")
+    )
 
 
 @dataclass
@@ -63,6 +86,15 @@ class ExperimentTable:
     def print(self) -> None:
         """Print the rendered table to stdout."""
         print(self.to_text())
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (used by the benchmark artifact)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
 
 
 def _fmt(value: Any) -> str:

@@ -13,6 +13,7 @@ sits between.
 from __future__ import annotations
 
 from repro.baselines import (
+    SpectralSolver,
     run_hierarchical,
     run_spanning_forest,
     spectral_clustering_search,
@@ -50,6 +51,9 @@ def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
             "spanning_forest",
         ),
     )
+    # One solver for the whole δ sweep: the eigendecomposition and per-k
+    # partitions are δ-independent, so they are computed exactly once.
+    solver = SpectralSolver(topology.graph, features, metric)
     for delta in DELTAS:
         implicit = run_elink(
             topology, features, metric, ELinkConfig(delta=delta, signalling="implicit")
@@ -57,7 +61,7 @@ def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
         explicit = run_elink(
             topology, features, metric, ELinkConfig(delta=delta, signalling="explicit")
         )
-        spectral = spectral_clustering_search(topology.graph, features, metric, delta)
+        spectral = spectral_clustering_search(delta=delta, solver=solver)
         hierarchical = run_hierarchical(topology.graph, features, metric, delta)
         forest = run_spanning_forest(topology, features, metric, delta)
         table.add_row(

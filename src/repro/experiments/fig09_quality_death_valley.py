@@ -5,13 +5,25 @@ topologies (paper §8.1).  δ is in metres of elevation.
 
 Expected shape: identical ordering to Fig 8; cluster counts fall steeply
 with δ because elevation is strongly spatially autocorrelated.
+
+The full profile runs the paper's true scale — 2500 sensors × 5 random
+topologies — which the shared :class:`~repro.baselines.SpectralSolver`
+makes affordable: one eigendecomposition and one k-means per distinct k
+per topology, reused across the whole δ sweep.  The experiment is
+decomposed into one **trial per topology** (``trial_specs`` /
+``run_trial`` / ``combine_trials``), the unit the parallel runner
+(``runner --jobs N``) fans out across processes; trials are seeded
+deterministically, so parallel and serial runs produce identical tables.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.baselines import (
+    SpectralSolver,
     run_hierarchical,
     run_spanning_forest,
     spectral_clustering_search,
@@ -24,24 +36,71 @@ from repro.experiments.common import ExperimentTable, check_profile
 DELTAS = (50.0, 100.0, 200.0, 400.0, 800.0)
 
 
-def run(profile: str = "full", seed: int = 11) -> ExperimentTable:
-    """Run the experiment; returns the printable table (see module docstring)."""
+def _profile_params(profile: str, seed: int) -> tuple[int, list[int], bool]:
+    """(num_sensors, topology seeds, include_hierarchical) per profile."""
     check_profile(profile)
     if profile == "full":
-        # The paper uses 2500 sensors x 5 topologies; the centralized
-        # spectral baseline's repeated high-k k-means makes that a
-        # multi-hour run, so the full benchmark profile uses 1200 x 3 —
-        # the same curve shapes at ~1/20 the cost (ELink itself handles
-        # 2500 nodes in under a second; see tests/test_scale.py).
-        num_sensors, seeds = 1200, [seed + k for k in range(3)]
-        include_hierarchical = False  # O(N^2) rounds still dominate here
-    else:
-        num_sensors, seeds = 250, [seed, seed + 1]
-        include_hierarchical = True
+        # The paper's scale: 2500 sensors averaged over 5 random
+        # topologies.  Affordable since the spectral solver computes one
+        # eigendecomposition per topology for the whole δ sweep (the old
+        # per-(δ, k) recomputation made this a multi-hour run).
+        return 2500, [seed + k for k in range(5)], False
+    return 250, [seed, seed + 1], True
 
-    datasets = [
-        generate_death_valley_dataset(seed=s, num_sensors=num_sensors) for s in seeds
+
+def trial_specs(profile: str, seed: int = 11) -> list[dict[str, Any]]:
+    """One picklable spec per random topology (the parallel unit)."""
+    num_sensors, seeds, include_hierarchical = _profile_params(profile, seed)
+    return [
+        {
+            "topology_seed": s,
+            "num_sensors": num_sensors,
+            "include_hierarchical": include_hierarchical,
+        }
+        for s in seeds
     ]
+
+
+def run_trial(spec: dict[str, Any], profile: str) -> dict[float, dict[str, int]]:
+    """All algorithms over the δ sweep on one topology.
+
+    Returns ``{delta: {algorithm: cluster count}}``.  The spectral solver
+    is shared across the sweep — that sharing is why the trial covers the
+    whole sweep for one topology rather than a single (topology, δ) cell.
+    """
+    dataset = generate_death_valley_dataset(
+        seed=spec["topology_seed"], num_sensors=spec["num_sensors"]
+    )
+    metric = dataset.metric()
+    solver = SpectralSolver(dataset.topology.graph, dataset.features, metric)
+    out: dict[float, dict[str, int]] = {}
+    for delta in DELTAS:
+        implicit = run_elink(
+            dataset.topology, dataset.features, metric, ELinkConfig(delta=delta)
+        )
+        spectral = spectral_clustering_search(
+            delta=delta, solver=solver, max_k=spec["num_sensors"], search="doubling"
+        )
+        forest = run_spanning_forest(dataset.topology, dataset.features, metric, delta)
+        counts = {
+            "elink_implicit": implicit.num_clusters,
+            "centralized": spectral.num_clusters,
+            "spanning_forest": forest.num_clusters,
+        }
+        if spec["include_hierarchical"]:
+            hierarchical = run_hierarchical(
+                dataset.topology.graph, dataset.features, metric, delta
+            )
+            counts["hierarchical"] = hierarchical.num_clusters
+        out[delta] = counts
+    return out
+
+
+def combine_trials(
+    results: list[dict[float, dict[str, int]]], profile: str, seed: int = 11
+) -> ExperimentTable:
+    """Average per-topology cluster counts into the printable table."""
+    _, seeds, include_hierarchical = _profile_params(profile, seed)
     columns = [
         "delta",
         "elink_implicit",
@@ -59,26 +118,12 @@ def run(profile: str = "full", seed: int = 11) -> ExperimentTable:
         columns=tuple(columns),
     )
     for delta in DELTAS:
-        counts: dict[str, list[int]] = {c: [] for c in columns if c != "delta"}
-        for dataset in datasets:
-            metric = dataset.metric()
-            implicit = run_elink(
-                dataset.topology, dataset.features, metric, ELinkConfig(delta=delta)
-            )
-            counts["elink_implicit"].append(implicit.num_clusters)
-            spectral = spectral_clustering_search(
-                dataset.topology.graph, dataset.features, metric, delta,
-                max_k=num_sensors, search="doubling",
-            )
-            counts["centralized"].append(spectral.num_clusters)
-            forest = run_spanning_forest(dataset.topology, dataset.features, metric, delta)
-            counts["spanning_forest"].append(forest.num_clusters)
-            if include_hierarchical:
-                hierarchical = run_hierarchical(
-                    dataset.topology.graph, dataset.features, metric, delta
-                )
-                counts["hierarchical"].append(hierarchical.num_clusters)
-        table.add_row(delta=delta, **{k: float(np.mean(v)) for k, v in counts.items()})
+        averages = {
+            column: float(np.mean([trial[delta][column] for trial in results]))
+            for column in columns
+            if column != "delta"
+        }
+        table.add_row(delta=delta, **averages)
     if not include_hierarchical:
         table.notes.append(
             "hierarchical omitted at 2500 nodes (its O(N^2) rounds dominate run time); "
@@ -86,6 +131,13 @@ def run(profile: str = "full", seed: int = 11) -> ExperimentTable:
         )
     table.notes.append("spectral k-search uses doubling+bisection at this scale")
     return table
+
+
+def run(profile: str = "full", seed: int = 11) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    specs = trial_specs(profile, seed)
+    results = [run_trial(spec, profile) for spec in specs]
+    return combine_trials(results, profile, seed)
 
 
 def main() -> None:

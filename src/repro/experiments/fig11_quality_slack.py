@@ -10,6 +10,7 @@ the effective threshold.
 from __future__ import annotations
 
 from repro.baselines import (
+    SpectralSolver,
     run_hierarchical,
     run_spanning_forest,
     spectral_clustering_search,
@@ -41,10 +42,13 @@ def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
         ),
         columns=("slack", "elink", "centralized", "hierarchical", "spanning_forest"),
     )
+    # The effective threshold varies with the slack, but the spectral
+    # solver's state is δ-independent — share it across the sweep.
+    solver = SpectralSolver(topology.graph, features, metric)
     for slack in SLACKS:
         effective = DELTA - 2 * slack
         elink = run_elink(topology, features, metric, ELinkConfig(delta=effective))
-        spectral = spectral_clustering_search(topology.graph, features, metric, effective)
+        spectral = spectral_clustering_search(delta=effective, solver=solver)
         hierarchical = run_hierarchical(topology.graph, features, metric, effective)
         forest = run_spanning_forest(topology, features, metric, effective)
         table.add_row(

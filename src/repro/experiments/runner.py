@@ -5,15 +5,105 @@ Usage::
     python -m repro.experiments.runner                # full profile, stdout
     python -m repro.experiments.runner --quick        # shrunk profile
     python -m repro.experiments.runner --only fig08 fig10
+    python -m repro.experiments.runner --jobs 4       # process-pool parallel
+
+Parallelism (``--jobs N``) fans independent work units out over a process
+pool.  The unit is one experiment, except for experiments that declare a
+finer decomposition (``trial_specs`` / ``run_trial`` / ``combine_trials``
+module attributes, e.g. one trial per random topology for Fig 9).  Every
+unit carries its own fixed seeds and runs in its own interpreter, so
+parallel and serial runs produce **identical tables** — only wall-clock
+changes.  Output is printed in submission order regardless of completion
+order.
+
+Every run also writes a ``BENCH_results.json`` artifact (``--bench-out``
+to relocate, ``--no-bench`` to skip) recording per-experiment wall time
+and the full result tables — message counts included — so the performance
+trajectory of the reproduction is tracked run over run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentTable, supports_trials
+
+
+def _run_experiment(name: str, profile: str) -> tuple[ExperimentTable, float]:
+    """Worker: run one whole experiment; returns (table, wall seconds)."""
+    module = ALL_EXPERIMENTS[name]
+    start = time.perf_counter()
+    table = module.run(profile=profile)
+    return table, time.perf_counter() - start
+
+
+def _run_trial(name: str, spec: Any, profile: str) -> tuple[Any, float]:
+    """Worker: run one trial of a trial-decomposed experiment."""
+    module = ALL_EXPERIMENTS[name]
+    start = time.perf_counter()
+    result = module.run_trial(spec, profile)
+    return result, time.perf_counter() - start
+
+
+def _run_parallel(
+    names: list[str], profile: str, jobs: int
+) -> list[tuple[str, ExperimentTable, float]]:
+    """Run *names* over a process pool; results come back in *names* order.
+
+    Wall time reported per experiment is the summed wall time of its work
+    units (its serial cost), not the elapsed pool time.
+    """
+    tasks = []  # (name, kind, future-producing args)
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        if supports_trials(module):
+            for index, spec in enumerate(module.trial_specs(profile)):
+                tasks.append((name, "trial", index, spec))
+        else:
+            tasks.append((name, "whole", 0, None))
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = []
+        for name, kind, _index, spec in tasks:
+            if kind == "whole":
+                futures.append(pool.submit(_run_experiment, name, profile))
+            else:
+                futures.append(pool.submit(_run_trial, name, spec, profile))
+        outputs = [future.result() for future in futures]
+
+    results: list[tuple[str, ExperimentTable, float]] = []
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        indices = [i for i, task in enumerate(tasks) if task[0] == name]
+        wall = sum(outputs[i][1] for i in indices)
+        if supports_trials(module):
+            trial_results = [outputs[i][0] for i in indices]
+            table = module.combine_trials(trial_results, profile)
+        else:
+            (table,) = [outputs[i][0] for i in indices]
+        results.append((name, table, wall))
+    return results
+
+
+def _bench_payload(
+    results: list[tuple[str, ExperimentTable, float]], profile: str, jobs: int, total_wall: float
+) -> dict:
+    return {
+        "schema": 1,
+        "profile": profile,
+        "jobs": jobs,
+        "total_wall_s": round(total_wall, 3),
+        "experiments": {
+            name: {"wall_s": round(wall, 3), **table.to_json_dict()}
+            for name, table, wall in results
+        },
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,19 +116,52 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=f"experiment names to run (default: all of {sorted(ALL_EXPERIMENTS)})",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run work units over an N-process pool (default 1: serial)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default="BENCH_results.json",
+        metavar="PATH",
+        help="where to write the per-experiment timing/result artifact",
+    )
+    parser.add_argument(
+        "--no-bench", action="store_true", help="skip writing the benchmark artifact"
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     profile = "quick" if args.quick else "full"
     names = args.only if args.only else list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
-    for name in names:
-        module = ALL_EXPERIMENTS[name]
-        start = time.time()
-        table = module.run(profile=profile)
-        table.print()
-        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    total_start = time.perf_counter()
+    if args.jobs == 1:
+        results = []
+        for name in names:
+            table, wall = _run_experiment(name, profile)
+            table.print()
+            print(f"[{name} finished in {wall:.1f}s]\n")
+            results.append((name, table, wall))
+    else:
+        results = _run_parallel(names, profile, args.jobs)
+        for name, table, wall in results:
+            table.print()
+            print(f"[{name} finished in {wall:.1f}s]\n")
+    total_wall = time.perf_counter() - total_start
+
+    if not args.no_bench:
+        payload = _bench_payload(results, profile, args.jobs, total_wall)
+        with open(args.bench_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[wrote {args.bench_out}: {len(results)} experiments, {total_wall:.1f}s total]")
     return 0
 
 

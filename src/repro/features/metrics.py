@@ -24,6 +24,7 @@ sample of features.
 
 from __future__ import annotations
 
+import math
 from typing import Hashable, Mapping, Sequence
 
 import numpy as np
@@ -32,6 +33,27 @@ from repro._validation import require_non_empty
 
 #: Features are accepted as anything convertible to a 1-d float array.
 FeatureLike = Sequence[float] | np.ndarray | float
+
+_FLOAT64 = np.dtype(np.float64)
+
+
+def _coerce_pair(a: FeatureLike, b: FeatureLike) -> tuple[np.ndarray, np.ndarray]:
+    """Feature pair for a distance computation.
+
+    Already-valid 1-d float64 arrays (the long-lived per-node feature
+    vectors every hot loop passes) are returned as-is; anything else goes
+    through the full :func:`as_feature` coercion and validation.
+    """
+    if (
+        type(a) is np.ndarray
+        and type(b) is np.ndarray
+        and a.dtype == _FLOAT64
+        and b.dtype == _FLOAT64
+        and a.ndim == 1
+        and b.ndim == 1
+    ):
+        return a, b
+    return as_feature(a), as_feature(b)
 
 
 def as_feature(value: FeatureLike) -> np.ndarray:
@@ -77,20 +99,53 @@ class Metric:
                 out[i, j] = out[j, i] = self.distance(items[i], items[j])
         return out
 
+    def pairwise_matrix(self, matrix: np.ndarray) -> np.ndarray | None:
+        """All-pairs distances over the rows of a prebuilt (n, d) matrix.
+
+        Returns None when the metric has no vectorized form (e.g.
+        :class:`MatrixMetric`, whose features are node ids, not vectors);
+        callers then fall back to per-pair :meth:`distance`.
+        """
+        return None
+
 
 class EuclideanMetric(Metric):
     """Plain Euclidean distance between feature vectors."""
 
     def distance(self, a: FeatureLike, b: FeatureLike) -> float:
         """Metric distance between two features."""
-        va, vb = as_feature(a), as_feature(b)
-        _check_same_dim(va, vb)
-        return float(np.linalg.norm(va - vb))
+        # _coerce_pair and _check_same_dim are inlined: this is the hottest
+        # scalar call in the codebase and the two extra frames are measurable.
+        if (
+            type(a) is np.ndarray
+            and type(b) is np.ndarray
+            and a.dtype == _FLOAT64
+            and b.dtype == _FLOAT64
+            and a.ndim == 1
+            and b.ndim == 1
+        ):
+            va, vb = a, b
+        else:
+            va, vb = as_feature(a), as_feature(b)
+        if va.shape != vb.shape:
+            raise ValueError(f"feature dimensions differ: {va.shape[0]} vs {vb.shape[0]}")
+        if va.shape[0] == 1:
+            # sqrt((a-b)^2) is exactly |a-b| in IEEE-754, so the scalar
+            # form is bitwise identical to the vector form below.
+            return abs(float(va[0]) - float(vb[0]))
+        diff = va - vb
+        # math.sqrt and np.sqrt are both correctly-rounded IEEE-754 sqrt,
+        # so swapping in the cheaper scalar call cannot change a bit.
+        return math.sqrt(np.dot(diff, diff))
 
     def pairwise(self, features: Sequence[FeatureLike]) -> np.ndarray:
         """Vectorized all-pairs distance matrix."""
         items = require_non_empty(features, "features")
         matrix = np.asarray([as_feature(f) for f in items], dtype=np.float64)
+        return self.pairwise_matrix(matrix)
+
+    def pairwise_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized all-pairs distances over the rows of an (n, d) matrix."""
         diff = matrix[:, None, :] - matrix[None, :, :]
         return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
 
@@ -103,7 +158,7 @@ class ManhattanMetric(Metric):
 
     def distance(self, a: FeatureLike, b: FeatureLike) -> float:
         """Metric distance between two features."""
-        va, vb = as_feature(a), as_feature(b)
+        va, vb = _coerce_pair(a, b)
         _check_same_dim(va, vb)
         return float(np.sum(np.abs(va - vb)))
 
@@ -111,6 +166,10 @@ class ManhattanMetric(Metric):
         """Vectorized all-pairs distance matrix."""
         items = require_non_empty(features, "features")
         matrix = np.asarray([as_feature(f) for f in items], dtype=np.float64)
+        return self.pairwise_matrix(matrix)
+
+    def pairwise_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized all-pairs distances over the rows of an (n, d) matrix."""
         return np.sum(np.abs(matrix[:, None, :] - matrix[None, :, :]), axis=-1)
 
     def __repr__(self) -> str:
@@ -136,20 +195,36 @@ class WeightedEuclideanMetric(Metric):
 
     def distance(self, a: FeatureLike, b: FeatureLike) -> float:
         """Metric distance between two features."""
-        va, vb = as_feature(a), as_feature(b)
-        _check_same_dim(va, vb)
+        # Inlined coercion/validation, as in EuclideanMetric.distance.
+        if (
+            type(a) is np.ndarray
+            and type(b) is np.ndarray
+            and a.dtype == _FLOAT64
+            and b.dtype == _FLOAT64
+            and a.ndim == 1
+            and b.ndim == 1
+        ):
+            va, vb = a, b
+        else:
+            va, vb = as_feature(a), as_feature(b)
+        if va.shape != vb.shape:
+            raise ValueError(f"feature dimensions differ: {va.shape[0]} vs {vb.shape[0]}")
         if va.shape != self.weights.shape:
             raise ValueError(
                 f"feature dimension {va.shape[0]} does not match "
                 f"weight dimension {self.weights.shape[0]}"
             )
         diff = va - vb
-        return float(np.sqrt(np.dot(self.weights, diff * diff)))
+        return math.sqrt(np.dot(self.weights, diff * diff))
 
     def pairwise(self, features: Sequence[FeatureLike]) -> np.ndarray:
         """Vectorized all-pairs distance matrix."""
         items = require_non_empty(features, "features")
         matrix = np.asarray([as_feature(f) for f in items], dtype=np.float64)
+        return self.pairwise_matrix(matrix)
+
+    def pairwise_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized all-pairs distances over the rows of an (n, d) matrix."""
         diff = matrix[:, None, :] - matrix[None, :, :]
         return np.sqrt(np.einsum("k,ijk->ij", self.weights, diff * diff))
 

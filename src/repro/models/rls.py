@@ -14,6 +14,8 @@ in-network modelling.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro._validation import require_int_at_least, require_positive
@@ -68,11 +70,11 @@ class RecursiveLeastSquares:
         x = np.asarray(regressors, dtype=np.float64)
         if x.shape != (self.order,):
             raise ValueError(f"regressors must have shape ({self.order},), got {x.shape}")
-        if not np.all(np.isfinite(x)) or not np.isfinite(target):
+        if not np.isfinite(x).all() or not math.isfinite(target):
             raise ValueError("regressors and target must be finite")
         px = self._p @ x
         gain_denominator = 1.0 + float(x @ px)
-        self._p = self._p - np.outer(px, px) / gain_denominator
+        self._p = self._p - px[:, None] * px[None, :] / gain_denominator
         # Symmetrize to fight numerical drift over long streams.
         self._p = (self._p + self._p.T) / 2.0
         prediction_error = float(x @ self._coefficients) - float(target)

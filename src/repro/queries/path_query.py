@@ -40,7 +40,7 @@ from repro._validation import require_non_negative
 from repro.core.delta import Clustering
 from repro.features.metrics import Metric
 from repro.index.mtree import MTreeIndex
-from repro.sim.messages import Message
+from repro.sim.messages import CATEGORY_QUERY, Message
 from repro.sim.stats import MessageStats
 
 
@@ -181,7 +181,7 @@ class PathQueryEngine:
     @staticmethod
     def _charge(stats: MessageStats, values: int, hops: int) -> None:
         if hops > 0:
-            stats.record(Message("query", None, None, values=values), hops=hops)
+            stats.charge("query", CATEGORY_QUERY, values, hops)
 
 
 def maximin_safe_path(

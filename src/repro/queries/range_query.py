@@ -41,7 +41,7 @@ from repro.core.delta import Clustering
 from repro.features.metrics import Metric
 from repro.index.backbone import BackboneTree
 from repro.index.mtree import MTreeIndex
-from repro.sim.messages import Message
+from repro.sim.messages import CATEGORY_QUERY
 from repro.sim.stats import MessageStats
 
 
@@ -210,7 +210,7 @@ class RangeQueryEngine:
     @staticmethod
     def _charge(stats: MessageStats, values: int, hops: int) -> None:
         if hops > 0:
-            stats.record(Message("query", None, None, values=values), hops=hops)
+            stats.charge("query", CATEGORY_QUERY, values, hops)
 
 
 def brute_force_range(

@@ -8,6 +8,15 @@ schedule of ELink — runs as callbacks on one :class:`EventKernel`.
 Determinism: events firing at the same timestamp run in scheduling order
 (FIFO), enforced by a monotonically increasing sequence number used as the
 heap tie-breaker.  This makes every protocol run reproducible.
+
+Two scheduling entry points share the heap (and the sequence counter, so
+FIFO ordering holds across both):
+
+- :meth:`EventKernel.schedule` — allocates an :class:`Event` handle that
+  supports :meth:`Event.cancel`.  Used for protocol timers.
+- :meth:`EventKernel.post` — the allocation-slim fast path for
+  fire-and-forget callbacks (the network layer's message deliveries, which
+  are never cancelled).  Pushes a bare heap tuple and returns nothing.
 """
 
 from __future__ import annotations
@@ -55,9 +64,14 @@ class EventKernel:
         kernel.now            # time of the last executed event
     """
 
+    # Heap entries are (time, seq, event_or_None, callback, args).  The seq
+    # tie-breaker is unique, so the comparison never reaches element 2 and
+    # Event objects need no ordering.  ``event_or_None`` is None for
+    # fire-and-forget entries pushed via :meth:`post`.
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, Event | None, Callable[..., Any], tuple]] = []
         self._sequence = itertools.count()
         self._events_executed = 0
 
@@ -72,11 +86,25 @@ class EventKernel:
         return len(self._heap)
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
-        """Schedule *callback(*args)* to run ``delay`` time units from now."""
+        """Schedule *callback(*args)* to run ``delay`` time units from now.
+
+        Returns a cancellable :class:`Event` handle; use :meth:`post` when
+        the handle is not needed (it skips the allocation).
+        """
         require_non_negative(delay, "delay")
         event = Event(self.now + delay, callback, args)
-        heapq.heappush(self._heap, (event.time, next(self._sequence), event))
+        heapq.heappush(self._heap, (event.time, next(self._sequence), event, callback, args))
         return event
+
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fast path: schedule a fire-and-forget callback (not cancellable).
+
+        Identical ordering semantics to :meth:`schedule` (same clock, same
+        FIFO sequence counter) without allocating an :class:`Event`.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), None, callback, args))
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule *callback(*args)* at absolute time ``time`` (>= now)."""
@@ -88,25 +116,31 @@ class EventKernel:
         """Execute events in time order.
 
         Stops when the heap is empty, when the next event is later than
-        ``until``, or after ``max_events`` events (a runaway-protocol guard).
-        Returns the kernel time afterwards.
+        ``until``, or after ``max_events`` events (a runaway-protocol
+        guard).  The guard is checked *before* the next event is popped, so
+        on :class:`RuntimeError` the offending event is still queued and the
+        kernel can be resumed with a larger budget.  Returns the kernel time
+        afterwards.
         """
+        heap = self._heap
         executed = 0
-        while self._heap:
-            time, _, event = self._heap[0]
-            if until is not None and time > until:
+        while heap:
+            entry = heap[0]
+            if until is not None and entry[0] > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
-            if event.cancelled:
+            event = entry[2]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
                 continue
             if max_events is not None and executed >= max_events:
                 raise RuntimeError(
                     f"kernel exceeded max_events={max_events}; "
                     "a protocol is probably not terminating"
                 )
-            self.now = time
-            event.callback(*event.args)
+            heapq.heappop(heap)
+            self.now = entry[0]
+            entry[3](*entry[4])
             executed += 1
             self._events_executed += 1
         if until is not None and until > self.now:
@@ -116,11 +150,12 @@ class EventKernel:
     def step(self) -> bool:
         """Execute the single next pending event.  Returns False if none."""
         while self._heap:
-            _, _, event = heapq.heappop(self._heap)
-            if event.cancelled:
+            entry = heapq.heappop(self._heap)
+            event = entry[2]
+            if event is not None and event.cancelled:
                 continue
-            self.now = event.time
-            event.callback(*event.args)
+            self.now = entry[0]
+            entry[3](*entry[4])
             self._events_executed += 1
             return True
         return False

@@ -53,7 +53,7 @@ _DEFAULT_CATEGORIES = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A protocol message.
 

@@ -19,10 +19,32 @@ Delivery modes:
 
 Nodes are any object with a ``handle_message(message)`` method, registered
 via :meth:`register`.
+
+Performance notes (see DESIGN.md, "Fast-path simulation engine"):
+
+- Adjacency sets and neighbour tuples are precomputed at construction, so
+  the per-message path never touches ``graph.has_edge``/``graph.neighbors``.
+  Mutating ``self.graph`` afterwards requires :meth:`invalidate_paths`.
+- When ``jitter == 0 and loss is None`` (the paper's synchronous reliable
+  model, and the default) deliveries take a zero-overhead fast path:
+  constant hop delay, no RNG call, no per-attempt loop, and a single
+  allocation-slim :meth:`~repro.sim.kernel.EventKernel.post`.
+- Jitter samples are pre-drawn in chunks when enabled; numpy consumes the
+  same bit stream either way, so jittery runs are byte-identical to the
+  per-call sampling they replace.
+- Shortest paths live in a bounded LRU keyed by ``(src, dst)`` and filled
+  by BFS-on-demand (replicating networkx's expansion order exactly, so
+  routed paths — and therefore per-node energy traces — are unchanged).
+  The BFS stops at ``dst`` but caches every path it discovered on the way,
+  so repeated routing from one source reuses the frontier instead of
+  re-running BFS.  Bounded, unlike the per-source
+  ``single_source_shortest_path`` cache it replaces, which held O(N²) path
+  objects on 2500-node runs.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Hashable, Iterable, Protocol, Sequence
 
 import networkx as nx
@@ -34,6 +56,12 @@ from repro.sim.kernel import EventKernel
 from repro.sim.messages import Message
 from repro.sim.radio import LossyLinkModel
 from repro.sim.stats import MessageStats
+
+#: Batch size for pre-drawn jitter samples.
+_JITTER_CHUNK = 256
+
+#: Default bound on the (src, dst) -> path LRU cache.
+DEFAULT_PATH_CACHE_SIZE = 32768
 
 
 class MessageHandler(Protocol):
@@ -63,6 +91,8 @@ class Network:
     loss:
         Optional :class:`~repro.sim.radio.LossyLinkModel`; failed hop
         transmissions are retransmitted (ARQ), inflating cost and delay.
+    path_cache_size:
+        Bound on the shortest-path LRU (number of cached paths).
     """
 
     def __init__(
@@ -75,9 +105,12 @@ class Network:
         jitter_seed: int = 0,
         energy: "EnergyModel | None" = None,
         loss: "LossyLinkModel | None" = None,
+        path_cache_size: int = DEFAULT_PATH_CACHE_SIZE,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("communication graph must have at least one node")
+        if path_cache_size < 1:
+            raise ValueError(f"path_cache_size must be >= 1, got {path_cache_size}")
         self.graph = graph
         self.kernel = kernel if kernel is not None else EventKernel()
         self.hop_delay = require_positive(hop_delay, "hop_delay")
@@ -88,11 +121,30 @@ class Network:
         #: factor γ; explicit signalling is correct for any jitter.
         self.jitter = jitter
         self._jitter_rng = np.random.default_rng(jitter_seed)
+        self._jitter_buffer: np.ndarray | None = None
+        self._jitter_cursor = 0
         self.stats = MessageStats()
         self.energy = energy
         self.loss = loss
+        #: True when the zero-overhead delivery path applies (synchronous
+        #: unit-delay, reliable links — the paper's cost model).
+        self._fast = jitter == 0.0 and loss is None
         self._handlers: dict[Hashable, MessageHandler] = {}
-        self._sp_cache: dict[Hashable, dict[Hashable, Sequence[Hashable]]] = {}
+        self._path_cache_size = path_cache_size
+        self._path_cache: OrderedDict[tuple[Hashable, Hashable], tuple[Hashable, ...]] = (
+            OrderedDict()
+        )
+        self._rebuild_adjacency()
+
+    def _rebuild_adjacency(self) -> None:
+        # Neighbour tuples preserve graph.adj iteration order (BFS
+        # tie-breaking depends on it); sets give O(1) edge checks.
+        self._adj: dict[Hashable, tuple[Hashable, ...]] = {
+            v: tuple(nbrs) for v, nbrs in self.graph.adj.items()
+        }
+        self._adj_sets: dict[Hashable, frozenset] = {
+            v: frozenset(nbrs) for v, nbrs in self._adj.items()
+        }
 
     @property
     def max_hop_delay(self) -> float:
@@ -102,7 +154,14 @@ class Network:
     def _sample_hop_delay(self) -> float:
         if self.jitter == 0.0:
             return self.hop_delay
-        return self.hop_delay * (1.0 + float(self._jitter_rng.uniform(0.0, self.jitter)))
+        buffer = self._jitter_buffer
+        if buffer is None or self._jitter_cursor >= buffer.shape[0]:
+            buffer = self._jitter_rng.uniform(0.0, self.jitter, size=_JITTER_CHUNK)
+            self._jitter_buffer = buffer
+            self._jitter_cursor = 0
+        value = buffer[self._jitter_cursor]
+        self._jitter_cursor += 1
+        return self.hop_delay * (1.0 + float(value))
 
     def _hop_cost(self, sender: Hashable, receiver: Hashable, message: Message) -> int:
         """Charge one hop (with retransmissions under loss); returns the
@@ -125,7 +184,7 @@ class Network:
     # ------------------------------------------------------------------
     def register(self, node_id: Hashable, handler: MessageHandler) -> None:
         """Attach *handler* as the protocol endpoint for *node_id*."""
-        if node_id not in self.graph:
+        if node_id not in self._adj:
             raise KeyError(f"node {node_id!r} is not in the communication graph")
         self._handlers[node_id] = handler
 
@@ -138,25 +197,33 @@ class Network:
 
     def neighbors(self, node_id: Hashable) -> Iterable[Hashable]:
         """Neighbours in the underlying structure."""
-        return self.graph.neighbors(node_id)
+        return self._adj[node_id]
 
     def degree(self, node_id: Hashable) -> int:
         """Degree of *node_id* in the communication graph."""
-        return self.graph.degree(node_id)
+        return len(self._adj[node_id])
 
     # ------------------------------------------------------------------
     # delivery
     # ------------------------------------------------------------------
     def send(self, message: Message) -> None:
         """Unicast *message* one hop to a direct neighbour of its source."""
-        if not self.graph.has_edge(message.src, message.dst):
+        src = message.src
+        neighbours = self._adj_sets.get(src)
+        if neighbours is None or message.dst not in neighbours:
             raise ValueError(
                 f"send() requires adjacency: {message.src!r} -> {message.dst!r} "
                 "is not an edge; use route() for multi-hop delivery"
             )
-        attempts = self._hop_cost(message.src, message.dst, message)
+        if self._fast:
+            self.stats.record(message)
+            if self.energy is not None:
+                self.energy.charge_hop(src, message.dst, message.values)
+            self.kernel.post(self.hop_delay, self._deliver, message)
+            return
+        attempts = self._hop_cost(src, message.dst, message)
         delay = sum(self._sample_hop_delay() for _ in range(attempts))
-        self.kernel.schedule(delay, self._deliver, message)
+        self.kernel.post(delay, self._deliver, message)
 
     def broadcast(self, src: Hashable, make_message) -> int:
         """Send ``make_message(neighbor)`` to every neighbour of *src*.
@@ -165,7 +232,7 @@ class Network:
         Returns the number of copies sent.
         """
         count = 0
-        for neighbor in self.graph.neighbors(src):
+        for neighbor in self._adj[src]:
             self.send(make_message(neighbor))
             count += 1
         return count
@@ -187,8 +254,9 @@ class Network:
         """
         if not path or path[0] != message.src or path[-1] != message.dst:
             raise ValueError("path must run from message.src to message.dst")
+        adj_sets = self._adj_sets
         for a, b in zip(path, path[1:]):
-            if not self.graph.has_edge(a, b):
+            if b not in adj_sets.get(a, ()):
                 raise ValueError(f"path step {a!r} -> {b!r} is not a graph edge")
         return self._traverse(path, message)
 
@@ -196,13 +264,22 @@ class Network:
         """Charge and deliver along *path*; returns the hop count."""
         hops = len(path) - 1
         if hops == 0:
-            self.kernel.schedule(self.hop_delay, self._deliver, message)
+            self.kernel.post(self.hop_delay, self._deliver, message)
             return 0
+        if self._fast:
+            # One stats record covers all hops (counters are additive);
+            # energy still charges each edge's endpoints individually.
+            self.stats.record(message, hops=hops)
+            if self.energy is not None:
+                for a, b in zip(path, path[1:]):
+                    self.energy.charge_hop(a, b, message.values)
+            self.kernel.post(hops * self.hop_delay, self._deliver, message)
+            return hops
         delay = 0.0
         for a, b in zip(path, path[1:]):
             attempts = self._hop_cost(a, b, message)
             delay += sum(self._sample_hop_delay() for _ in range(attempts))
-        self.kernel.schedule(delay, self._deliver, message)
+        self.kernel.post(delay, self._deliver, message)
         return hops
 
     def _deliver(self, message: Message) -> None:
@@ -212,15 +289,70 @@ class Network:
     # paths
     # ------------------------------------------------------------------
     def shortest_path(self, src: Hashable, dst: Hashable) -> Sequence[Hashable]:
-        """Shortest path from *src* to *dst* (cached per source)."""
-        cache = self._sp_cache.get(src)
-        if cache is None:
-            cache = nx.single_source_shortest_path(self.graph, src)
-            self._sp_cache[src] = cache
-        try:
-            return cache[dst]
-        except KeyError:
-            raise nx.NetworkXNoPath(f"no path from {src!r} to {dst!r}") from None
+        """Shortest path from *src* to *dst* (bounded LRU + BFS on demand).
+
+        Expansion order replicates ``networkx.single_source_shortest_path``
+        exactly, so the returned path (not just its length) matches what the
+        unbounded per-source cache used to produce.
+        """
+        cache = self._path_cache
+        key = (src, dst)
+        path = cache.get(key)
+        if path is not None:
+            cache.move_to_end(key)
+            return path
+        return self._bfs_path(src, dst)
+
+    def _bfs_path(self, src: Hashable, dst: Hashable) -> tuple[Hashable, ...]:
+        adj = self._adj
+        if src not in adj:
+            raise nx.NodeNotFound(f"source {src!r} is not in the communication graph")
+        if dst not in adj:
+            raise nx.NetworkXNoPath(f"no path from {src!r} to {dst!r}")
+        cache = self._path_cache
+        limit = self._path_cache_size
+
+        def remember(key: tuple[Hashable, Hashable], path: tuple[Hashable, ...]) -> None:
+            cache[key] = path
+            cache.move_to_end(key)
+            if len(cache) > limit:
+                cache.popitem(last=False)
+
+        paths: dict[Hashable, tuple[Hashable, ...]] = {src: (src,)}
+        remember((src, src), (src,))
+        if dst == src:
+            return (src,)
+        # Level-order expansion in adjacency order — identical tie-breaking
+        # to nx.single_source_shortest_path, stopping once dst is reached.
+        # Every path discovered on the way is cached: later routes from the
+        # same source to anything at most as far as dst are cache hits.
+        level: list[Hashable] = [src]
+        while level:
+            next_level: list[Hashable] = []
+            for v in level:
+                base = paths[v]
+                for w in adj[v]:
+                    if w not in paths:
+                        path = base + (w,)
+                        paths[w] = path
+                        remember((src, w), path)
+                        if w == dst:
+                            return path
+                        next_level.append(w)
+            level = next_level
+        raise nx.NetworkXNoPath(f"no path from {src!r} to {dst!r}")
+
+    def invalidate_paths(self) -> None:
+        """Resynchronize with ``self.graph`` after a topology mutation.
+
+        The network precomputes adjacency and caches shortest paths, so any
+        mutation of ``self.graph`` (adding/removing nodes or edges — e.g.
+        simulating node failures or link churn) MUST be followed by a call
+        to this method; otherwise sends keep validating against the old
+        adjacency and routes silently follow stale paths.
+        """
+        self._path_cache.clear()
+        self._rebuild_adjacency()
 
     def hop_distance(self, src: Hashable, dst: Hashable) -> int:
         """Shortest-path hop count between two nodes."""

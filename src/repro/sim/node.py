@@ -29,6 +29,7 @@ class ProtocolNode:
         self.node_id = node_id
         self.network = network
         self.feature = feature
+        self._handlers: dict[str, Any] = {}
         network.register(node_id, self)
 
     # ------------------------------------------------------------------
@@ -63,12 +64,15 @@ class ProtocolNode:
     # ------------------------------------------------------------------
     def handle_message(self, message: Message) -> None:
         """Deliver *message* to this endpoint."""
-        handler = getattr(self, f"handle_{message.kind}", None)
+        handler = self._handlers.get(message.kind)
         if handler is None:
-            raise NotImplementedError(
-                f"{type(self).__name__} (node {self.node_id!r}) has no handler "
-                f"for message kind {message.kind!r}"
-            )
+            handler = getattr(self, f"handle_{message.kind}", None)
+            if handler is None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} (node {self.node_id!r}) has no handler "
+                    f"for message kind {message.kind!r}"
+                )
+            self._handlers[message.kind] = handler
         handler(message)
 
     def __repr__(self) -> str:

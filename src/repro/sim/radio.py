@@ -18,8 +18,18 @@ import numpy as np
 from repro._validation import require_in_range, require_int_at_least
 
 
+#: Batch size for pre-drawn geometric samples (one heap refill per chunk).
+_SAMPLE_CHUNK = 256
+
+
 class LossyLinkModel:
-    """Per-hop geometric retransmission sampler."""
+    """Per-hop geometric retransmission sampler.
+
+    Samples are pre-drawn in chunks: numpy's ``Generator`` consumes the
+    same bit stream for a size-*n* draw as for *n* scalar draws, so the
+    attempt sequence is identical to per-call sampling while paying the
+    generator overhead once per chunk.
+    """
 
     def __init__(self, loss_probability: float, *, seed: int = 0, max_attempts: int = 1000):
         require_in_range(loss_probability, 0.0, 1.0, "loss_probability")
@@ -29,6 +39,8 @@ class LossyLinkModel:
         self.loss_probability = loss_probability
         self.max_attempts = max_attempts
         self._rng = np.random.default_rng(seed)
+        self._buffer: np.ndarray | None = None
+        self._cursor = 0
 
     def attempts_for_hop(self) -> int:
         """Number of transmissions until one succeeds (>= 1).
@@ -38,7 +50,11 @@ class LossyLinkModel:
         """
         if self.loss_probability == 0.0:
             return 1
-        attempts = int(self._rng.geometric(1.0 - self.loss_probability))
+        if self._buffer is None or self._cursor >= self._buffer.shape[0]:
+            self._buffer = self._rng.geometric(1.0 - self.loss_probability, size=_SAMPLE_CHUNK)
+            self._cursor = 0
+        attempts = int(self._buffer[self._cursor])
+        self._cursor += 1
         return max(1, min(attempts, self.max_attempts))
 
     def expected_inflation(self) -> float:

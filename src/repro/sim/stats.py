@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from repro.sim.messages import Message
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageStats:
     """Mutable accumulator of communication costs."""
 
@@ -25,25 +25,47 @@ class MessageStats:
     values_by_kind: Counter = field(default_factory=Counter)
     packets_by_category: Counter = field(default_factory=Counter)
     values_by_category: Counter = field(default_factory=Counter)
+    # Running totals, so total_packets/total_values are O(1) — hot paths
+    # (e.g. per-update cost deltas) read them once or twice per message.
+    _total_packets: int = field(default=0, repr=False, compare=False)
+    _total_values: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._total_packets = sum(self.packets_by_kind.values())
+        self._total_values = sum(self.values_by_kind.values())
 
     def record(self, message: Message, hops: int = 1) -> None:
         """Charge *message* for travelling *hops* hops."""
+        self.charge(message.kind, message.category, message.values, hops)
+
+    def charge(self, kind: str, category: str, values: int, hops: int = 1) -> None:
+        """Charge *values* scalar values of *kind*/*category* over *hops* hops.
+
+        Equivalent to :meth:`record` with a matching :class:`Message`;
+        accounting-only call sites (costs charged without a message object
+        travelling the network) use this to skip the construction.
+        """
         if hops < 1:
             raise ValueError(f"hops must be >= 1, got {hops}")
-        self.packets_by_kind[message.kind] += hops
-        self.values_by_kind[message.kind] += hops * message.values
-        self.packets_by_category[message.category] += hops
-        self.values_by_category[message.category] += hops * message.values
+        if values < 1:
+            raise ValueError(f"message must carry at least one value, got {values}")
+        total = hops * values
+        self.packets_by_kind[kind] += hops
+        self.values_by_kind[kind] += total
+        self.packets_by_category[category] += hops
+        self.values_by_category[category] += total
+        self._total_packets += hops
+        self._total_values += total
 
     @property
     def total_packets(self) -> int:
         """Point-to-point transmissions recorded (one per hop)."""
-        return sum(self.packets_by_kind.values())
+        return self._total_packets
 
     @property
     def total_values(self) -> int:
         """The paper's "number of messages" (single-value messages × hops)."""
-        return sum(self.values_by_kind.values())
+        return self._total_values
 
     def category_values(self, category: str) -> int:
         """Value-messages recorded under *category*."""
@@ -73,6 +95,8 @@ class MessageStats:
         self.values_by_kind.clear()
         self.packets_by_category.clear()
         self.values_by_category.clear()
+        self._total_packets = 0
+        self._total_values = 0
 
     def __repr__(self) -> str:
         return (

@@ -171,3 +171,24 @@ def test_fig01_zone_map_quick():
     assert row["pairwise_agreement"] > 0.5
     # The ASCII maps are attached as notes.
     assert any("temperature field" in note for note in table.notes)
+
+
+def test_runner_jobs_matches_serial(capsys):
+    """``--jobs N`` must print byte-identical tables to a serial run; only
+    wall-clock timings may differ.  fig09 exercises the per-trial
+    decomposition, the others the whole-experiment unit."""
+    import re
+
+    from repro.experiments import runner
+
+    def normalized():
+        out = capsys.readouterr().out
+        return re.sub(r"finished in [0-9.]+s", "finished in Xs", out)
+
+    argv = ["--quick", "--only", "fig09", "complexity", "optimality_gap", "--no-bench"]
+    assert runner.main(argv) == 0
+    serial = normalized()
+    assert runner.main(argv + ["--jobs", "4"]) == 0
+    parallel = normalized()
+    assert serial == parallel
+    assert "fig09" in serial

@@ -118,6 +118,22 @@ def test_max_events_guard_raises():
         kernel.run(max_events=10)
 
 
+def test_max_events_is_resumable():
+    """The guard is checked before the pop, so the offending event stays
+    queued and the kernel can be resumed with a larger budget."""
+    kernel = EventKernel()
+    order = []
+    for i in range(5):
+        kernel.schedule(float(i + 1), order.append, i)
+    with pytest.raises(RuntimeError, match="max_events"):
+        kernel.run(max_events=3)
+    assert order == [0, 1, 2]
+    assert kernel.pending == 2
+    kernel.run()
+    assert order == [0, 1, 2, 3, 4]
+    assert kernel.now == 5.0
+
+
 def test_step_executes_single_event():
     kernel = EventKernel()
     seen = []

@@ -203,3 +203,112 @@ def test_stats_rejects_zero_hops():
     network, _ = _line_network()
     with pytest.raises(ValueError):
         network.stats.record(Message("feature", 0, 1), hops=0)
+
+
+# ----------------------------------------------------------------------
+# fast path vs general path
+# ----------------------------------------------------------------------
+def _grid_network(**kwargs):
+    topology = grid_topology(4, 4)
+    network = Network(topology.graph, EventKernel(), **kwargs)
+    nodes = {v: Recorder(v, network) for v in topology.graph.nodes}
+    return network, nodes
+
+
+def _drive_mixed_traffic(network):
+    """A deterministic workload exercising send, route and broadcast."""
+    network.send(Message("expand", 0, 1, values=2))
+    network.route(Message("query", 0, 15, values=3))
+    network.broadcast(5, lambda nb: Message("phase1", 5, nb))
+    network.route_along([0, 1, 2, 3], Message("feature", 0, 3, values=4))
+    network.run()
+
+
+def _delivery_trace(nodes):
+    return {
+        v: [(m.kind, m.src, m.values, t) for m, t in node.received]
+        for v, node in nodes.items()
+    }
+
+
+def test_fast_path_matches_general_path():
+    """The zero-overhead path (jitter=0, no loss) must be observationally
+    identical to the general per-hop path.  A zero-probability loss model
+    forces the general machinery (per-hop charging, per-attempt delays)
+    without changing any outcome, so every counter, energy charge and
+    arrival time must agree bit for bit."""
+    from repro.sim.energy import EnergyModel
+    from repro.sim.radio import LossyLinkModel
+
+    fast_net, fast_nodes = _grid_network(energy=EnergyModel())
+    assert fast_net._fast
+    general_net, general_nodes = _grid_network(
+        energy=EnergyModel(), loss=LossyLinkModel(0.0)
+    )
+    assert not general_net._fast
+
+    _drive_mixed_traffic(fast_net)
+    _drive_mixed_traffic(general_net)
+
+    assert fast_net.stats.packets_by_kind == general_net.stats.packets_by_kind
+    assert fast_net.stats.values_by_kind == general_net.stats.values_by_kind
+    assert fast_net.stats.values_by_category == general_net.stats.values_by_category
+    assert fast_net.stats.total_packets == general_net.stats.total_packets
+    assert fast_net.energy.spent == general_net.energy.spent
+    assert _delivery_trace(fast_nodes) == _delivery_trace(general_nodes)
+    assert fast_net.kernel.now == general_net.kernel.now
+
+
+def test_jitter_deterministic_per_seed():
+    """Batched jitter sampling stays reproducible: same seed, same arrivals."""
+    traces = []
+    for _ in range(2):
+        network, nodes = _grid_network(jitter=0.5, jitter_seed=7)
+        _drive_mixed_traffic(network)
+        traces.append(_delivery_trace(nodes))
+    assert traces[0] == traces[1]
+    network, nodes = _grid_network(jitter=0.5, jitter_seed=8)
+    _drive_mixed_traffic(network)
+    assert _delivery_trace(nodes) != traces[0]
+
+
+# ----------------------------------------------------------------------
+# path cache
+# ----------------------------------------------------------------------
+def test_bfs_paths_match_networkx():
+    """BFS-on-demand must reproduce networkx's exact paths (not just
+    lengths) — routed energy traces depend on the tie-breaking."""
+    graph = nx.gnp_random_graph(24, 0.15, seed=3)
+    graph.add_edges_from(nx.path_graph(24).edges)  # guarantee connectivity
+    network = Network(graph, EventKernel())
+    for src in graph.nodes:
+        expected = nx.single_source_shortest_path(graph, src)
+        for dst in graph.nodes:
+            assert tuple(network.shortest_path(src, dst)) == tuple(expected[dst])
+
+
+def test_path_cache_eviction_stays_correct():
+    graph = nx.path_graph(6)
+    network = Network(graph, EventKernel(), path_cache_size=2)
+    for src in range(6):
+        for dst in range(6):
+            path = network.shortest_path(src, dst)
+            assert len(path) == abs(src - dst) + 1
+    assert len(network._path_cache) <= 2
+    assert tuple(network.shortest_path(5, 0)) == (5, 4, 3, 2, 1, 0)
+
+
+def test_invalidate_paths_after_topology_change():
+    graph = nx.path_graph(4)
+    network = Network(graph, EventKernel())
+    nodes = {i: Recorder(i, network) for i in range(4)}
+    assert network.hop_distance(0, 3) == 3
+    graph.add_edge(0, 3)
+    # Precomputed adjacency is stale until the caller resynchronizes.
+    with pytest.raises(ValueError, match="adjacency"):
+        network.send(Message("feature", 0, 3))
+    network.invalidate_paths()
+    assert network.hop_distance(0, 3) == 1
+    network.send(Message("feature", 0, 3))
+    network.run()
+    assert len(nodes[3].received) == 1
