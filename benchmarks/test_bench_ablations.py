@@ -2,6 +2,7 @@
 optimality gap, and energy hotspots (full profiles)."""
 
 from repro.experiments import (
+    ablation_failures,
     ablation_loss,
     ablation_signalling,
     ablation_switching,
@@ -35,6 +36,22 @@ def test_ablation_loss(run_once):
     for row in table.rows:
         assert row["valid"]
         assert abs(row["inflation"] - row["expected_inflation"]) < 0.25
+
+
+def test_ablation_failures(run_once):
+    table = run_once(ablation_failures.run)
+    print()
+    table.print()
+    fault_free = table.rows[0]
+    assert fault_free["crash"] == 0.0
+    assert fault_free["drops"] == 0
+    for row in table.rows:
+        # Self-healing ELink terminates with a valid δ-clustering of the
+        # surviving subgraph under every fault mix.
+        assert row["valid"]
+        if row["crash"] > 0:
+            assert row["survivors"] < fault_free["survivors"]
+            assert row["drops"] > 0
 
 
 def test_optimality_gap(run_once):

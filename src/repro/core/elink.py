@@ -36,11 +36,43 @@ assembly repairs this by splitting stray components into their own clusters
 (see :func:`repro.core.delta.clustering_from_assignment`), which keeps
 every emitted cluster a valid δ-cluster and simply costs one extra cluster
 in the quality metric.
+
+Failure detection and repair (DESIGN.md §9).  With
+``ELinkConfig.failure_detection`` enabled (default off — the zero-fault
+configuration is byte-identical to the paper protocol), explicit-mode
+ELink survives fail-stop crashes injected by
+:class:`repro.sim.faults.FaultInjector`:
+
+- **ack escalation** — an episode whose leaf timeout passes with children
+  outstanding probes them over the link layer (send receipts double as
+  synchronous failure detection); dead children are deducted, and after
+  ``ack_retries`` rounds the episode force-completes, so a dead or silent
+  child can no longer stall completion detection forever.
+- **parent heartbeats** — a node with an incomplete episode heartbeats its
+  cluster parent; a failed heartbeat (or failed ``ack2``) roots the
+  orphaned subtree at the detector, which re-expands with a *repair*
+  ``expand`` carrying the dead cluster root's id so orphaned descendants
+  rejoin without spending switch budget.
+- **sentinel failover** — a quadtree aggregator that misses ``phase1``
+  reports past a deadline probes the silent quad children; a dead child's
+  cell is taken over by the next-eligible cell member (closest to the cell
+  centroid, deterministic tie-break), which adopts the dead sentinel's
+  quadtree role; with no eligible replacement the child is *forgiven* so
+  rounds still terminate.
+
+Every retry loop is bounded and every give-up path force-completes, so the
+protocol terminates under any crash pattern; validity is restored at
+assembly time, which clusters the *surviving* subgraph and keeps each dead
+root's feature as the pruning feature for its stranded members (the δ/2
+guarantee survives).  Repair traffic (``probe``/``hb``/``takeover``) is
+charged to a separate ``repair`` category so fault experiments can report
+overhead next to the paper's clustering/sync metrics.
 """
 
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Hashable, Literal, Mapping
 
@@ -51,6 +83,7 @@ from repro.core.delta import Clustering, clustering_from_assignment
 from repro.features.metrics import Metric
 from repro.geometry.quadtree import QuadTreeDecomposition
 from repro.geometry.topology import Topology
+from repro.sim.faults import FaultInjector
 from repro.sim.kernel import EventKernel
 from repro.sim.messages import Message
 from repro.sim.network import Network
@@ -88,6 +121,14 @@ class ELinkConfig:
         triggered by an ``expand`` answer with ``ack1`` exactly two hops
         later, so any value in (2, 3) is exact for the unit-delay radio;
         2.5 is the default "conservative time-out" (Fig 18).
+    failure_detection:
+        Enable the fail-stop detection/repair layer (module docstring).
+        Off by default: a zero-fault run with detection off is
+        byte-identical to the paper protocol.
+    ack_retries:
+        Bounded-retry budget shared by the repair machinery: escalation
+        rounds per stalled episode, and deadline extensions per quadtree
+        round, before force-completing/forgiving.
     """
 
     delta: float
@@ -96,6 +137,8 @@ class ELinkConfig:
     gamma: float = 0.3
     signalling: Literal["implicit", "explicit", "unordered"] = "implicit"
     ack_window: float = 2.5
+    failure_detection: bool = False
+    ack_retries: int = 3
 
     def __post_init__(self) -> None:
         require_positive(self.delta, "delta")
@@ -111,6 +154,8 @@ class ELinkConfig:
             )
         if not (2.0 < self.ack_window):
             raise ValueError(f"ack_window must exceed 2 hop delays, got {self.ack_window}")
+        if self.ack_retries < 1:
+            raise ValueError(f"ack_retries must be >= 1, got {self.ack_retries}")
 
     @property
     def switch_threshold(self) -> float:
@@ -146,9 +191,14 @@ class ELinkResult:
         return self.stats.category_values("sync")
 
     @property
+    def repair_messages(self) -> int:
+        """Failure-detection/repair traffic (zero in fault-free runs)."""
+        return self.stats.category_values("repair")
+
+    @property
     def total_messages(self) -> int:
         """Total communication charged, in the paper's value-messages."""
-        return self.clustering_messages + self.sync_messages
+        return self.clustering_messages + self.sync_messages + self.repair_messages
 
     def __repr__(self) -> str:
         return (
@@ -167,6 +217,18 @@ class _Episode:
     children: int = 0
     timeout_passed: bool = False
     completed: bool = False
+    #: Repair episodes (orphan re-expansion) never inject phase1 — the
+    #: quadtree round they would report to has moved on.
+    repair: bool = False
+    #: Which neighbours joined under this episode (failure detection only:
+    #: escalation needs identities to probe; ``children`` stays the exact
+    #: completion counter).
+    child_ids: Counter = field(default_factory=Counter)
+    #: Escalation rounds already spent on this episode.
+    escalations: int = 0
+    #: Outstanding-children count at the previous escalation; a decrease
+    #: means the subtree is making progress and the retry budget resets.
+    watermark: int = -1
 
 
 class ELinkNode(ProtocolNode):
@@ -214,6 +276,16 @@ class ELinkNode(ProtocolNode):
         # Quadtree synchronization (explicit mode): per-round phase1 counts.
         self._phase1_received: dict[int, int] = {}
 
+        # Failure detection and repair state (DESIGN.md §9).  All of it is
+        # inert unless config.failure_detection is set.
+        self._orphan_repaired = False
+        self._phase1_senders: dict[int, set] = {}
+        self._phase1_forgiven: dict[int, set] = {}
+        self._phase1_forwarded: set[int] = set()
+        self._deadline_attempts: dict[int, int] = {}
+        self._taken_over: set[Hashable] = set()
+        self._phase2_acted: set[int] = set()
+
         # Filled by the runner for protocol-termination detection.
         self.on_protocol_done = None
 
@@ -239,19 +311,43 @@ class ELinkNode(ProtocolNode):
     # ------------------------------------------------------------------
     # episodes
     # ------------------------------------------------------------------
-    def _open_episode(self, parent: Hashable | None, parent_episode: int | None) -> None:
+    def _open_episode(
+        self,
+        parent: Hashable | None,
+        parent_episode: int | None,
+        repair_of: Hashable | None = None,
+    ) -> None:
         self._episode_seq += 1
-        episode = _Episode(self._episode_seq, parent, parent_episode)
+        episode = _Episode(
+            self._episode_seq, parent, parent_episode, repair=repair_of is not None
+        )
         self._episodes[episode.seq] = episode
         self._current_episode = episode.seq
-        self.broadcast(
-            "expand",
-            payload=(self.root_feature, self.root_id, self.m, episode.seq),
-            values=int(np.atleast_1d(self.root_feature).shape[0]),
-        )
+        values = int(np.atleast_1d(self.root_feature).shape[0])
+        if repair_of is None:
+            self.broadcast(
+                "expand",
+                payload=(self.root_feature, self.root_id, self.m, episode.seq),
+                values=values,
+            )
+        else:
+            # Repair expansion: the payload carries the dead cluster root's
+            # id so orphaned members (still assigned to it) rejoin without
+            # spending switch budget; charged as repair traffic.
+            payload = (self.root_feature, self.root_id, self.m, episode.seq, repair_of)
+            self.network.broadcast(
+                self.node_id,
+                lambda nbr: Message(
+                    "expand", self.node_id, nbr, payload, values, category="repair"
+                ),
+            )
         if self.config.signalling == "explicit":
             if parent is not None:
-                self.send(parent, "ack1", payload=parent_episode)
+                acked = self.send(parent, "ack1", payload=parent_episode)
+                if not acked and self.config.failure_detection:
+                    # Parent crashed between its expand and our join.
+                    self._on_parent_dead(episode)
+                    return
             # The leaf timeout must cover an expand + ack1 round trip under
             # the worst-case per-hop delay (jitter-aware).
             self.set_timer(
@@ -259,6 +355,12 @@ class ELinkNode(ProtocolNode):
                 self._episode_timeout,
                 episode.seq,
             )
+            if self.config.failure_detection and parent is not None:
+                self.set_timer(
+                    self.config.ack_window * self.network.max_hop_delay,
+                    self._parent_check,
+                    episode.seq,
+                )
         elif self.config.signalling == "unordered" and parent is not None:
             # Unordered mode needs roots to know whether they still anchor
             # children before dissolving; joins therefore announce
@@ -268,15 +370,102 @@ class ELinkNode(ProtocolNode):
     def _episode_timeout(self, seq: int) -> None:
         episode = self._episodes[seq]
         episode.timeout_passed = True
+        if (
+            self.config.failure_detection
+            and not episode.completed
+            and episode.children > 0
+        ):
+            # Children outstanding at the leaf timeout: begin bounded
+            # escalation so a dead/silent child cannot stall us forever.
+            self.set_timer(
+                self.config.ack_window * self.network.max_hop_delay,
+                self._escalate_episode,
+                seq,
+            )
         self._maybe_complete_episode(episode)
+
+    def _escalate_episode(self, seq: int) -> None:
+        """Probe outstanding children; deduct the dead; give up when the
+        retry budget is spent *without progress* (the force-complete
+        guarantees termination even against a live-but-silent child)."""
+        episode = self._episodes[seq]
+        if episode.completed or episode.children <= 0:
+            return
+        if 0 <= episode.children < episode.watermark:
+            # ack2s arrived since the last escalation: the subtree is live
+            # and draining, so the give-up budget resets.
+            episode.escalations = 0
+        episode.watermark = episode.children
+        episode.escalations += 1
+        for child in [c for c, k in episode.child_ids.items() if k > 0]:
+            if not self.send(child, "probe", payload=seq):
+                episode.children -= episode.child_ids.pop(child)
+                self._note_repair("prune_child", child)
+        if episode.children > 0:
+            if episode.escalations >= self.config.ack_retries:
+                # No progress across the whole retry budget: children are
+                # live (probes succeeded) but silent.  Force completion:
+                # membership is assembled from final node state, so only
+                # the completion *accounting* is approximated.
+                episode.children = 0
+                episode.child_ids.clear()
+            else:
+                # Exponential backoff: deep subtrees legitimately take
+                # O(√N) to drain; give them geometrically more room per
+                # retry instead of hammering a fixed short window.
+                self.set_timer(
+                    self.config.ack_window
+                    * self.network.max_hop_delay
+                    * (2.0 ** episode.escalations),
+                    self._escalate_episode,
+                    seq,
+                )
+        self._maybe_complete_episode(episode)
+
+    def _parent_check(self, seq: int) -> None:
+        """Heartbeat the cluster parent while the episode is incomplete."""
+        episode = self._episodes[seq]
+        if episode.completed or episode.parent is None:
+            return
+        if not self.send(episode.parent, "hb", payload=seq):
+            self._on_parent_dead(episode)
+            return
+        self.set_timer(
+            self.config.ack_window * self.network.max_hop_delay,
+            self._parent_check,
+            seq,
+        )
+
+    def _on_parent_dead(self, episode: _Episode) -> None:
+        """Cluster parent crashed: root the orphaned subtree here and
+        re-expand so orphaned descendants can rejoin (once per node)."""
+        episode.completed = True  # the old episode can never be acked
+        if self._orphan_repaired:
+            return
+        self._orphan_repaired = True
+        dead = episode.parent
+        old_root = self.root_id
+        self.is_cluster_root = True
+        self.root_id = self.node_id
+        self.root_feature = self.feature
+        self.parent = None
+        self.clustered_at = self.now
+        self._note_repair("orphan_root", dead)
+        self._open_episode(parent=None, parent_episode=None, repair_of=old_root)
+
+    def _note_repair(self, kind: str, dead: Hashable, by: Hashable | None = None) -> None:
+        if self._fault_injector is not None:
+            self._fault_injector.note_repair(kind, dead, self.node_id if by is None else by)
 
     def _maybe_complete_episode(self, episode: _Episode) -> None:
         if episode.completed or not episode.timeout_passed or episode.children > 0:
             return
         episode.completed = True
         if episode.parent is not None:
-            self.send(episode.parent, "ack2", payload=episode.parent_episode)
-        else:
+            acked = self.send(episode.parent, "ack2", payload=episode.parent_episode)
+            if not acked and self.config.failure_detection:
+                self._on_parent_dead(episode)
+        elif not episode.repair:
             # Root episode complete: this sentinel's cluster stopped growing.
             self._send_phase1(self.level)
 
@@ -285,7 +474,12 @@ class ELinkNode(ProtocolNode):
     # ------------------------------------------------------------------
     def handle_expand(self, message: Message) -> None:
         """Fig 16: join, ignore, or switch on a cluster-expansion offer."""
-        root_feature, root_id, n, parent_episode = message.payload
+        payload = message.payload
+        if len(payload) == 5:
+            root_feature, root_id, n, parent_episode, repair_of = payload
+        else:
+            root_feature, root_id, n, parent_episode = payload
+            repair_of = None
         distance_to_root = self.metric.distance(root_feature, self.feature)
         if distance_to_root > self.config.delta / 2.0:
             return
@@ -293,6 +487,18 @@ class ELinkNode(ProtocolNode):
             self._join(message.src, root_feature, root_id, n, parent_episode)
             return
         if root_id == self.root_id:
+            return
+        if (
+            repair_of is not None
+            and self.config.failure_detection
+            and self.root_id == repair_of
+        ):
+            # Our cluster root died and a repair root is re-expanding: we
+            # are orphaned, so rejoining costs no switch budget.  Propagate
+            # the repair marker so deeper orphans hear it too.
+            self.is_cluster_root = False
+            self._join(message.src, root_feature, root_id, n, parent_episode,
+                       repair_of=repair_of)
             return
         if self.switches_used >= self.config.max_switches:
             return
@@ -338,6 +544,7 @@ class ELinkNode(ProtocolNode):
         root_id: Hashable,
         n: int,
         parent_episode: int,
+        repair_of: Hashable | None = None,
     ) -> None:
         self.clustered = True
         self.root_id = root_id
@@ -345,25 +552,54 @@ class ELinkNode(ProtocolNode):
         self.m = n
         self.parent = via
         self.clustered_at = self.now
-        self._open_episode(parent=via, parent_episode=parent_episode)
+        self._open_episode(parent=via, parent_episode=parent_episode, repair_of=repair_of)
 
     def handle_ack1(self, message: Message) -> None:
         """A neighbour joined under this node; bump its episode's child count."""
         episode = self._episodes[message.payload]
-        if episode.timeout_passed:
+        if episode.timeout_passed and not self.config.failure_detection:
             raise RuntimeError(
                 f"node {self.node_id!r}: ack1 arrived after leaf timeout of episode "
                 f"{episode.seq}; increase ack_window"
             )
         episode.children += 1
+        if self.config.failure_detection:
+            episode.child_ids[message.src] += 1
+            if episode.timeout_passed and not episode.completed:
+                # The join landed after the leaf timeout, so the timeout's
+                # escalation check already ran (or was never armed): arm a
+                # fresh escalation so this late child cannot stall us.
+                self.set_timer(
+                    self.config.ack_window * self.network.max_hop_delay,
+                    self._escalate_episode,
+                    episode.seq,
+                )
 
     def handle_ack2(self, message: Message) -> None:
         """A child subtree finished growing; maybe complete the episode."""
         episode = self._episodes[message.payload]
         if episode.children <= 0:
+            if self.config.failure_detection:
+                # Late ack2 from a child we already pruned or force-closed.
+                return
             raise RuntimeError(f"node {self.node_id!r}: ack2 underflow on episode {episode.seq}")
         episode.children -= 1
+        if self.config.failure_detection and episode.child_ids.get(message.src, 0) > 0:
+            episode.child_ids[message.src] -= 1
         self._maybe_complete_episode(episode)
+
+    # ------------------------------------------------------------------
+    # failure-detection plumbing: liveness traffic needs no reaction —
+    # the synchronous link layer's send/route receipt IS the answer.
+    # ------------------------------------------------------------------
+    def handle_probe(self, message: Message) -> None:
+        """Liveness probe from a waiting episode parent; nothing to do."""
+
+    def handle_hb(self, message: Message) -> None:
+        """Heartbeat from a cluster child; nothing to do."""
+
+    def handle_probe_sentinel(self, message: Message) -> None:
+        """Liveness probe from a quadtree aggregator; nothing to do."""
 
     # ------------------------------------------------------------------
     # Fig 18: quadtree synchronization (explicit mode)
@@ -392,6 +628,14 @@ class ELinkNode(ProtocolNode):
         round_level = message.payload
         got = self._phase1_received.get(round_level, 0) + 1
         self._phase1_received[round_level] = got
+        if self.config.failure_detection:
+            # Tolerant, identity-based aggregation: takeovers and repair
+            # re-elections can shift who reports, so exact counting is
+            # replaced by a senders ⊇ eligible-children check (idempotent,
+            # duplicate-proof).
+            self._phase1_senders.setdefault(round_level, set()).add(message.src)
+            self._check_round_progress(round_level)
+            return
         if got > self._expected_phase1(round_level):
             raise RuntimeError(
                 f"node {self.node_id!r}: too many phase1({round_level}) messages"
@@ -401,6 +645,123 @@ class ELinkNode(ProtocolNode):
                 self._round_complete(round_level)
             else:
                 self.route(self.quad_parent, "phase1", payload=round_level)
+
+    def _eligible_children(self, round_level: int) -> list[Hashable]:
+        """Quad children whose subtree holds sentinels at *round_level*."""
+        return [
+            child
+            for child in self.quad_children
+            if self._child_subtree_max.get(child, -1) >= round_level
+        ]
+
+    def _check_round_progress(self, round_level: int) -> None:
+        """Forward phase1 up (once) when every non-forgiven eligible quad
+        child has reported for *round_level*."""
+        if round_level in self._phase1_forwarded:
+            return
+        senders = self._phase1_senders.get(round_level, set())
+        forgiven = self._phase1_forgiven.get(round_level, set())
+        if all(
+            child in senders
+            for child in self._eligible_children(round_level)
+            if child not in forgiven
+        ):
+            self._phase1_forwarded.add(round_level)
+            if self.level == 0:
+                self._round_complete(round_level)
+            else:
+                self.route(self.quad_parent, "phase1", payload=round_level)
+
+    def _arm_phase_deadline(self, round_level: int) -> None:
+        """Watch for the round's phase1 reports; fires bounded probes."""
+        if round_level in self._deadline_attempts:
+            return
+        self._deadline_attempts[round_level] = 0
+        self.set_timer(self._phase_patience, self._phase_deadline, round_level)
+
+    def _phase_deadline(self, round_level: int) -> None:
+        if round_level in self._phase1_forwarded:
+            return
+        senders = self._phase1_senders.get(round_level, set())
+        forgiven = self._phase1_forgiven.setdefault(round_level, set())
+        missing = [
+            child
+            for child in self._eligible_children(round_level)
+            if child not in senders and child not in forgiven
+        ]
+        if not missing:
+            self._check_round_progress(round_level)
+            return
+        attempts = self._deadline_attempts.get(round_level, 0) + 1
+        self._deadline_attempts[round_level] = attempts
+        for child in missing:
+            if self.route(child, "probe_sentinel", payload=round_level) == -1:
+                # Child sentinel dead/unreachable: try a cell takeover.
+                if self._failover_sentinel(child, round_level) is None:
+                    forgiven.add(child)
+        if attempts >= self.config.ack_retries:
+            # Budget spent: stop waiting for the stragglers.  Their
+            # subtrees keep clustering locally; only round reporting is
+            # abandoned (documented accounting approximation).
+            for child in missing:
+                forgiven.add(child)
+        else:
+            self.set_timer(self._phase_patience, self._phase_deadline, round_level)
+        self._check_round_progress(round_level)
+
+    def _failover_sentinel(self, dead: Hashable, round_level: int) -> Hashable | None:
+        """Deterministic takeover: the next-eligible member of the dead
+        sentinel's cell (closest to the cell centroid) adopts its role."""
+        for candidate in self._cell_fallbacks.get(dead, ()):
+            if candidate == self.node_id:
+                continue
+            if self.route(candidate, "takeover", payload=(dead, round_level)) != -1:
+                self.quad_children = [
+                    candidate if child == dead else child for child in self.quad_children
+                ]
+                self._note_repair("sentinel_failover", dead, by=candidate)
+                return candidate
+        return None
+
+    def _static_subtree_contains(self, root: Hashable, target: Hashable) -> bool:
+        """Whether *target* lies in *root*'s original quadtree subtree."""
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            stack.extend(self._quad_children_of.get(node, ()))
+        return False
+
+    def handle_takeover(self, message: Message) -> None:
+        """Adopt a dead sentinel's quadtree cell (role merge: the
+        replacement keeps its own children and gains the dead node's)."""
+        dead, round_level = message.payload
+        if dead in self._taken_over:
+            return
+        self._taken_over.add(dead)
+        dead_level = self._quad_level_of.get(dead, self.level)
+        dead_children = [
+            child
+            for child in self._quad_children_of.get(dead, [])
+            # Never adopt ourselves, nor a child whose subtree contains us:
+            # that would make us our own quadtree ancestor and cycle the
+            # phase2/start wave.  Such a child's subtree keeps clustering
+            # locally; only its round reporting is lost (bounded by the
+            # prober's forgiveness budget).
+            if child != self.node_id and not self._static_subtree_contains(child, self.node_id)
+        ]
+        self.level = min(self.level, dead_level)
+        self.quad_parent = message.src
+        self.quad_children = list(self.quad_children) + [
+            child for child in dead_children if child not in self.quad_children
+        ]
+        self._child_subtree_max[self.node_id] = max(
+            self._child_subtree_max.get(self.node_id, self.level),
+            self._child_subtree_max.get(dead, dead_level),
+        )
+        self._phase1_sent = False
+        self.start_elink()
 
     def _round_complete(self, round_level: int) -> None:
         """At the quadtree root: all of S_round_level finished expanding."""
@@ -414,6 +775,13 @@ class ELinkNode(ProtocolNode):
         self._act_on_phase2(round_level)
 
     def _act_on_phase2(self, round_level: int) -> None:
+        if self.config.failure_detection:
+            # Takeover rewiring can (transiently) put a node on two quadtree
+            # paths; acting once per round keeps the completion wave from
+            # circulating forever; in fault-free trees this is a no-op.
+            if round_level in self._phase2_acted:
+                return
+            self._phase2_acted.add(round_level)
         if self.level == round_level:
             for child in self.quad_children:
                 self.route(child, "start")
@@ -421,6 +789,10 @@ class ELinkNode(ProtocolNode):
             for child in self.quad_children:
                 if self._child_subtree_max[child] >= round_level:
                     self.route(child, "phase2", payload=round_level)
+        if self.config.failure_detection and self._eligible_children(round_level + 1):
+            # We just kicked off (or relayed) round round_level+1 and will
+            # be waiting on its phase1 reports: arm the watchdog.
+            self._arm_phase_deadline(round_level + 1)
 
     def handle_phase2(self, message: Message) -> None:
         """Fig 18: forward the round-completion wave down the quadtree."""
@@ -433,6 +805,13 @@ class ELinkNode(ProtocolNode):
 
     # Bound by the runner: mapping quad child -> subtree max level.
     _child_subtree_max: Mapping[Hashable, int] = {}
+    # Bound by the runner when failure detection is on (class-level inert
+    # defaults keep the zero-fault path untouched):
+    _quad_level_of: Mapping[Hashable, int] = {}  # node -> sentinel level
+    _quad_children_of: Mapping[Hashable, list] = {}  # node -> quad children
+    _cell_fallbacks: Mapping[Hashable, tuple] = {}  # sentinel -> takeover order
+    _fault_injector = None  # FaultInjector for repair-latency bookkeeping
+    _phase_patience: float = 25.0  # round watchdog period (runner sets ~2.5κ)
 
 
 def _id_less(a: Hashable, b: Hashable) -> bool:
@@ -466,6 +845,7 @@ def run_elink(
     *,
     quadtree: QuadTreeDecomposition | None = None,
     network: Network | None = None,
+    injector: "FaultInjector | None" = None,
 ) -> ELinkResult:
     """Run ELink over *topology* and return the resulting δ-clustering.
 
@@ -475,6 +855,16 @@ def run_elink(
     implicit signalling the time the last node joined a cluster plus the
     final level's allotted window; for explicit signalling the time the
     root learns the final round finished.
+
+    With *injector* (a :class:`repro.sim.faults.FaultInjector`), its fault
+    plan is armed on the kernel before the protocol starts; note the
+    injector mutates the network's graph in place, so pass a network built
+    over a copy if the topology is reused.  When nodes crashed during the
+    run, the clustering is assembled over the *surviving* subgraph only
+    (crashed roots keep contributing their feature as the pruning feature
+    of their stranded members, so every emitted cluster is still a valid
+    δ-cluster).  An empty plan schedules nothing: byte-identical to no
+    injector at all.
     """
     missing = set(topology.graph.nodes) - set(features)
     if missing:
@@ -482,8 +872,12 @@ def run_elink(
     if quadtree is None:
         quadtree = QuadTreeDecomposition(topology)
     if network is None:
-        network = Network(topology.graph, EventKernel())
+        network = injector.network if injector is not None else Network(topology.graph, EventKernel())
+    elif injector is not None and injector.network is not network:
+        raise ValueError("injector must be bound to the network running the protocol")
     start_stats = network.stats.snapshot()
+    if injector is not None:
+        injector.arm()
 
     # Subtree max levels for the phase1 expectation counts, filled deepest
     # level first so children are ready before their parents.
@@ -519,42 +913,114 @@ def run_elink(
     nodes[root_sentinel].on_protocol_done = protocol_done_at.append
 
     n = topology.num_nodes
+    if config.failure_detection or injector is not None:
+        # Bind the repair registries: cell-takeover orders (cell members by
+        # distance to the cell centroid, deterministic tie-break on repr),
+        # the quadtree role maps a replacement needs to adopt a dead
+        # sentinel's cell, and a round-watchdog patience of ~2.5κ (one
+        # worst-case round is 2κ).
+        positions = topology.positions
+        cell_fallbacks: dict[Hashable, tuple] = {}
+        for cells in quadtree._cells_by_level:
+            for cell in cells:
+                if cell.leader is None:
+                    continue
+                cx, cy = cell.centroid
+                members = [v for v in cell.members if v != cell.leader]
+                members.sort(
+                    key=lambda v: (
+                        (positions[v][0] - cx) ** 2 + (positions[v][1] - cy) ** 2,
+                        repr(v),
+                    )
+                )
+                cell_fallbacks[cell.leader] = tuple(members)
+        patience = max(
+            3.0 * config.ack_window * network.max_hop_delay,
+            2.5 * compute_kappa(n, config.gamma, network.hop_delay),
+        )
+        for elink_node in nodes.values():
+            elink_node._cell_fallbacks = cell_fallbacks
+            elink_node._quad_level_of = quadtree.level_of
+            elink_node._quad_children_of = quadtree.quad_children
+            elink_node._fault_injector = injector
+            elink_node._phase_patience = patience
+
+    # Start timers are owned by their sentinel, so a crash cancels the
+    # node's pending start (schedule_owned wraps the same kernel.schedule
+    # call: identical event sequence numbers, byte-identical zero-fault).
     if config.signalling == "implicit":
         starts = implicit_schedule(n, depth, config.gamma, network.hop_delay)
         for level, sentinels in enumerate(quadtree.sentinel_sets):
             for sentinel in sentinels:
-                network.kernel.schedule_at(
-                    max(starts[level], network.kernel.now), nodes[sentinel].start_elink
+                network.schedule_owned(
+                    sentinel,
+                    max(starts[level] - network.kernel.now, 0.0),
+                    nodes[sentinel].start_elink,
                 )
     elif config.signalling == "unordered":
         for sentinels in quadtree.sentinel_sets:
             for sentinel in sentinels:
-                network.kernel.schedule(0.0, nodes[sentinel].start_elink)
+                network.schedule_owned(sentinel, 0.0, nodes[sentinel].start_elink)
     else:
-        network.kernel.schedule(0.0, nodes[root_sentinel].start_elink)
+        network.schedule_owned(root_sentinel, 0.0, nodes[root_sentinel].start_elink)
 
-    network.run(max_events=200 * n * (depth + 2) + 10_000)
+    event_budget = 200 * n * (depth + 2) + 10_000
+    if config.failure_detection or injector is not None:
+        event_budget *= 4  # heartbeats/probes/watchdogs add bounded traffic
+    network.run(max_events=event_budget)
 
     # Assemble the clustering from final node states.
-    assignment = {node_id: node.root_id for node_id, node in nodes.items()}
-    parents = {
-        node_id: (node.parent if node.parent is not None else node_id)
-        for node_id, node in nodes.items()
-    }
-    root_feature_map = {
-        node_id: node.feature for node_id, node in nodes.items() if node.is_cluster_root
-    }
-    clustering = clustering_from_assignment(
-        topology.graph,
-        assignment,
-        {node_id: node.feature for node_id, node in nodes.items()},
-        root_features=root_feature_map,
-        parents=parents,
-    )
+    if network.dead_nodes:
+        # Fault-aware assembly: survivors only, over the surviving graph.
+        # A dead root's feature is recovered from any member's stored copy
+        # so its stranded members keep their δ/2 pruning guarantee; nodes
+        # the faults left unclustered become singletons.
+        dead = network.dead_nodes
+        assignment = {}
+        parents = {}
+        feature_map = {}
+        root_feature_map = {}
+        for node_id, node in nodes.items():
+            if node_id in dead:
+                continue
+            root = node.root_id if node.root_id is not None else node_id
+            assignment[node_id] = root
+            parents[node_id] = node.parent if node.parent is not None else node_id
+            feature_map[node_id] = node.feature
+            root_feature_map.setdefault(
+                root, node.root_feature if node.root_feature is not None else node.feature
+            )
+        clustering = clustering_from_assignment(
+            network.graph,
+            assignment,
+            feature_map,
+            root_features=root_feature_map,
+            parents=parents,
+        )
+    else:
+        assignment = {node_id: node.root_id for node_id, node in nodes.items()}
+        parents = {
+            node_id: (node.parent if node.parent is not None else node_id)
+            for node_id, node in nodes.items()
+        }
+        root_feature_map = {
+            node_id: node.feature for node_id, node in nodes.items() if node.is_cluster_root
+        }
+        clustering = clustering_from_assignment(
+            topology.graph,
+            assignment,
+            {node_id: node.feature for node_id, node in nodes.items()},
+            root_features=root_feature_map,
+            parents=parents,
+        )
     repaired = clustering.num_clusters - len(set(assignment.values()))
 
     completion_time = max(
-        (node.clustered_at for node in nodes.values() if node.clustered_at is not None),
+        (
+            node.clustered_at
+            for node_id, node in nodes.items()
+            if node.clustered_at is not None and node_id not in network.dead_nodes
+        ),
         default=0.0,
     )
     if config.signalling == "implicit":
@@ -573,7 +1039,11 @@ def run_elink(
         stats=network.stats.diff(start_stats),
         completion_time=completion_time,
         protocol_time=protocol_time,
-        total_switches=sum(node.switches_used for node in nodes.values()),
+        total_switches=sum(
+            node.switches_used
+            for node_id, node in nodes.items()
+            if node_id not in network.dead_nodes
+        ),
         repaired_components=max(repaired, 0),
         config=config,
     )

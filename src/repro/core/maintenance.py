@@ -196,6 +196,32 @@ class MaintenanceSession:
                 self._detach(member)
         return "root_broadcast"
 
+    def remove_node(self, node: Hashable) -> None:
+        """Fail-stop removal: drop *node* and repair its cluster.
+
+        A dead member's cluster tree is re-hung around the gap; a dead
+        cluster representative's survivors re-elect — each surviving
+        component promotes the member closest to the dead root's feature,
+        which stays the pruning feature, so the δ/2 membership guarantee
+        survives the crash (same rule as
+        :func:`~repro.core.delta.clustering_from_assignment`).  Repair
+        control traffic is charged like any other update handling.
+        """
+        if node not in self.assignment:
+            return
+        root = self.assignment.pop(node)
+        self.parent.pop(node, None)
+        self.features.pop(node, None)
+        self.stored_root.pop(node, None)
+        if root == node:
+            members = {n for n, r in self.assignment.items() if r == node}
+            base_feature = self.root_features.pop(node)
+            self._root_anchor.pop(node, None)
+            if members:
+                self._promote_components(members, base_feature)
+        else:
+            self._repair_tree(root)
+
     # ------------------------------------------------------------------
     # detach / merge
     # ------------------------------------------------------------------

@@ -79,7 +79,10 @@ class RepresentativeSampler:
         )
 
     def reconstruct(
-        self, sampled: Mapping[Hashable, np.ndarray]
+        self,
+        sampled: Mapping[Hashable, np.ndarray],
+        *,
+        partial: bool = False,
     ) -> dict[Hashable, np.ndarray]:
         """Estimate every node's feature from its cluster's representative.
 
@@ -87,16 +90,34 @@ class RepresentativeSampler:
         estimate for each node is its root's sampled feature; by pairwise
         δ-compactness the error is at most δ per node (checked by
         :meth:`reconstruction_error` and the tests).
+
+        With ``partial=True`` (degraded operation: some representatives
+        crashed before reporting), missing roots are tolerated and their
+        clusters are simply absent from the result — pair with
+        :meth:`coverage` to report the answered fraction.
         """
         missing = set(self.clustering.roots) - set(sampled)
-        if missing:
+        if missing and not partial:
             raise ValueError(
                 f"sample missing cluster roots: {sorted(missing, key=repr)[:5]}"
             )
         return {
-            node: np.asarray(sampled[self.clustering.root_of(node)], dtype=np.float64)
+            node: np.asarray(sampled[root], dtype=np.float64)
             for node in self.clustering.assignment
+            if (root := self.clustering.root_of(node)) in sampled
         }
+
+    def coverage(self, sampled: Mapping[Hashable, np.ndarray]) -> float:
+        """Fraction of nodes whose cluster representative reported."""
+        total = len(self.clustering.assignment)
+        if total == 0:
+            return 1.0
+        answered = sum(
+            1
+            for node in self.clustering.assignment
+            if self.clustering.root_of(node) in sampled
+        )
+        return answered / total
 
     def reconstruction_error(
         self, true_features: Mapping[Hashable, np.ndarray]

@@ -10,6 +10,7 @@ version for tests.
 
 from repro.experiments import (
     ablation_asynchrony,
+    ablation_failures,
     ablation_loss,
     ablation_signalling,
     ablation_switching,
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = {
     "ablation_asynchrony": ablation_asynchrony,
     "ablation_switching": ablation_switching,
     "ablation_loss": ablation_loss,
+    "ablation_failures": ablation_failures,
     "optimality_gap": optimality_gap,
     "energy_hotspots": energy_hotspots,
 }

@@ -1,0 +1,116 @@
+"""Ablation — fail-stop crashes, link churn, and self-healing ELink.
+
+The paper assumes nodes never die; sensor hardware does.  This chaos
+experiment runs ELink with explicit signalling and the failure-detection
+layer enabled while a :class:`~repro.sim.faults.FaultInjector` crashes a
+fraction of the nodes (and, in the last row, flaps links) mid-protocol.
+Reported per row: surviving node count, cluster count, whether the
+surviving clustering is a valid δ-clustering of the surviving subgraph,
+message totals split into protocol vs repair traffic, structured delivery
+failures (drops), the message overhead relative to the fault-free
+baseline, and the mean crash→repair latency.
+
+The crash window is placed inside the protocol's κ time horizon so deaths
+interleave with cluster formation — the hardest case, since episodes and
+quadtree rounds are mid-flight when their participants disappear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ELinkConfig, run_elink, validate_clustering
+from repro.core.elink import compute_kappa
+from repro.experiments.common import ExperimentTable, check_profile
+from repro.features.metrics import EuclideanMetric
+from repro.geometry.topology import Topology, grid_topology
+from repro.sim import EventKernel, FaultInjector, FaultPlan, Network
+
+DELTA = 1.0
+CRASH_FRACTIONS = (0.0, 0.02, 0.05, 0.1)
+CHURN_ROW = (0.05, 8)  # (crash fraction, churn events) for the mixed row
+
+
+def _smooth_features(topology: Topology) -> dict:
+    """Deterministic smooth scalar field over the grid positions."""
+    return {
+        node: np.array([(x + y) / 10.0])
+        for node, (x, y) in topology.positions.items()
+    }
+
+
+def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    check_profile(profile)
+    side = 20 if profile == "full" else 10
+    topology = grid_topology(side, side)
+    features = _smooth_features(topology)
+    metric = EuclideanMetric()
+    config = ELinkConfig(delta=DELTA, signalling="explicit", failure_detection=True)
+    kappa = compute_kappa(topology.num_nodes, config.gamma)
+    crash_window = (0.05 * kappa, 0.75 * kappa)
+
+    table = ExperimentTable(
+        name="ablation_failures",
+        title=f"Ablation: fail-stop crashes + churn, self-healing ELink (delta = {DELTA})",
+        columns=(
+            "crash",
+            "churn",
+            "survivors",
+            "clusters",
+            "valid",
+            "messages",
+            "repair_msgs",
+            "drops",
+            "overhead",
+            "repair_latency",
+        ),
+    )
+    sweep = [(f, 0) for f in CRASH_FRACTIONS]
+    sweep.append(CHURN_ROW if profile == "full" else (CHURN_ROW[0], 4))
+    baseline_messages: int | None = None
+    for i, (crash_fraction, churn_events) in enumerate(sweep):
+        # The injector mutates the graph in place: each trial gets a copy.
+        graph = topology.graph.copy()
+        trial = Topology(graph, dict(topology.positions))
+        network = Network(graph, EventKernel())
+        plan = FaultPlan.random(
+            sorted(graph.nodes),
+            seed=seed + i,
+            crash_fraction=crash_fraction,
+            crash_window=crash_window,
+            churn_edges=sorted(graph.edges),
+            churn_events=churn_events,
+            churn_window=crash_window,
+            churn_downtime=2.0,
+        )
+        injector = FaultInjector(network, plan)
+        result = run_elink(trial, features, metric, config, network=network, injector=injector)
+        if baseline_messages is None:
+            baseline_messages = result.total_messages
+        violations = validate_clustering(
+            network.graph, result.clustering, features, metric, DELTA
+        )
+        latencies = injector.repair_latencies()
+        table.add_row(
+            crash=crash_fraction,
+            churn=churn_events,
+            survivors=network.graph.number_of_nodes(),
+            clusters=result.num_clusters,
+            valid=not violations,
+            messages=result.total_messages,
+            repair_msgs=result.repair_messages,
+            drops=result.stats.total_drops,
+            overhead=result.total_messages / baseline_messages,
+            repair_latency=float(np.mean(latencies)) if latencies else 0.0,
+        )
+    return table
+
+
+def main() -> None:
+    """Command-line entry point."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,45 @@ class BackboneTree:
         """Neighbours in the underlying structure."""
         return self.tree.neighbors(root)
 
+    def reroute_around(
+        self, graph: nx.Graph, dead_root: Hashable, replacement: Hashable
+    ) -> int:
+        """Repair the backbone after cluster root *dead_root* crashed.
+
+        *replacement* (the re-elected representative of the dead root's
+        cluster) takes the dead root's place in the tree; each incident
+        backbone edge is re-routed over the *surviving* communication
+        graph and re-charged as at build time (one 2-value handshake per
+        hop, recorded in :attr:`stats` as repair traffic).  Backbone
+        neighbours that are unreachable in the surviving graph have their
+        edge dropped — the tree may split; callers detect that via the
+        returned count and report partial coverage.  Returns the number
+        of successfully re-routed edges.
+        """
+        if dead_root not in self.tree:
+            raise KeyError(f"{dead_root!r} is not a backbone node")
+        neighbours = list(self.tree.neighbors(dead_root))
+        self.tree.remove_node(dead_root)
+        for key in [k for k in self.paths if dead_root in k]:
+            del self.paths[key]
+        self.tree.add_node(replacement)
+        rerouted = 0
+        for neighbour in neighbours:
+            if neighbour == replacement or neighbour not in graph:
+                continue
+            try:
+                path = nx.shortest_path(graph, replacement, neighbour)
+            except (nx.NodeNotFound, nx.NetworkXNoPath):
+                continue  # unreachable survivor: this edge stays severed
+            self.tree.add_edge(replacement, neighbour)
+            self.paths[(replacement, neighbour)] = path
+            self.stats.record(
+                Message("probe", replacement, neighbour, values=2, category="repair"),
+                hops=max(len(path) - 1, 1),
+            )
+            rerouted += 1
+        return rerouted
+
 
 def build_backbone(graph: nx.Graph, clustering: Clustering) -> BackboneTree:
     """Build the leader backbone tree (see module docstring)."""

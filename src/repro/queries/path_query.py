@@ -52,10 +52,21 @@ class PathQueryResult:
     messages: int
     safe_nodes: int
     clusters_drilled: int
+    #: Fraction of surviving nodes whose cluster the query could classify
+    #: (1.0 unless crashes removed cluster representatives).
+    coverage: float = 1.0
 
 
 class PathQueryEngine:
-    """Safe-path search over a clustering + M-tree."""
+    """Safe-path search over a clustering + M-tree.
+
+    Degraded operation after fail-stop crashes: pass ``dead`` (the crashed
+    node set) and clusters whose representative died are excluded from the
+    safe set — their surviving members cannot be classified, so they count
+    as uncovered and the result carries a coverage fraction instead of a
+    crash.  Dead nodes are never part of a returned path.  ``dead`` defaults
+    to empty: the fault-free path is untouched.
+    """
 
     def __init__(
         self,
@@ -64,12 +75,15 @@ class PathQueryEngine:
         features: Mapping[Hashable, np.ndarray],
         metric: Metric,
         mtree: MTreeIndex,
+        *,
+        dead: "set[Hashable] | frozenset[Hashable] | None" = None,
     ):
         self.graph = graph
         self.clustering = clustering
         self.features = {k: np.asarray(v, dtype=np.float64) for k, v in features.items()}
         self.metric = metric
         self.mtree = mtree
+        self._dead = frozenset(dead) if dead else frozenset()
         self._dim = int(next(iter(self.features.values())).shape[0])
 
     # ------------------------------------------------------------------
@@ -91,15 +105,19 @@ class PathQueryEngine:
         if entry_hops:
             self._charge(stats, query_values, entry_hops)
 
-        safe_nodes, drilled = self._classify(danger, gamma, stats, query_values)
+        safe_nodes, drilled, coverage = self._classify(danger, gamma, stats, query_values)
         if source not in safe_nodes or destination not in safe_nodes:
-            return PathQueryResult(None, stats.total_values, len(safe_nodes), drilled)
+            return PathQueryResult(
+                None, stats.total_values, len(safe_nodes), drilled, coverage
+            )
 
         # Safe regions: connected components of the safe-induced subgraph.
         safe_sub = self.graph.subgraph(safe_nodes)
         component = nx.node_connected_component(safe_sub, source)
         if destination not in component:
-            return PathQueryResult(None, stats.total_values, len(safe_nodes), drilled)
+            return PathQueryResult(
+                None, stats.total_values, len(safe_nodes), drilled, coverage
+            )
 
         # Region-level BFS along the safe backbone: charge the query once
         # per safe cluster-root region traversed (2 values each way), then
@@ -109,7 +127,9 @@ class PathQueryEngine:
             self._charge(stats, 2, 1)
         path = nx.shortest_path(safe_sub.subgraph(component), source, destination)
         self._charge(stats, 1, len(path) - 1)
-        return PathQueryResult(list(path), stats.total_values, len(safe_nodes), drilled)
+        return PathQueryResult(
+            list(path), stats.total_values, len(safe_nodes), drilled, coverage
+        )
 
     # ------------------------------------------------------------------
     def _classify(
@@ -118,11 +138,23 @@ class PathQueryEngine:
         gamma: float,
         stats: MessageStats,
         query_values: int,
-    ) -> tuple[set[Hashable], int]:
-        """Label every node safe/unsafe, drilling boundary clusters."""
+    ) -> tuple[set[Hashable], int, float]:
+        """Label every node safe/unsafe, drilling boundary clusters.
+
+        Clusters with a dead representative cannot be classified: their
+        surviving members are left out of the safe set and counted as
+        uncovered in the returned coverage fraction.
+        """
         safe: set[Hashable] = set()
         drilled = 0
+        dead = self._dead
+        uncovered = 0
         for root in self.clustering.roots:
+            if dead and root in dead:
+                uncovered += sum(
+                    1 for m in self.clustering.members(root) if m not in dead
+                )
+                continue
             d = self.metric.distance(danger, self.mtree.routing_feature[root])
             radius = self.mtree.covering_radius[root]
             # Reaching each root costs one backbone traversal; approximate
@@ -135,7 +167,15 @@ class PathQueryEngine:
                 continue
             drilled += 1
             safe.update(self._drill(root, danger, gamma, stats, query_values))
-        return safe, drilled
+        coverage = 1.0
+        if dead:
+            safe.difference_update(dead)
+            alive_total = sum(
+                1 for n in self.clustering.assignment if n not in dead
+            )
+            if alive_total:
+                coverage = 1.0 - uncovered / alive_total
+        return safe, drilled, coverage
 
     def _drill(
         self,

@@ -54,10 +54,28 @@ class RangeQueryResult:
     clusters_pruned: int  # clusters answered by δ-compactness alone
     clusters_included: int  # clusters fully included without descent
     clusters_descended: int  # clusters that needed the M-tree
+    #: Fraction of surviving nodes whose cluster the query could consult
+    #: (1.0 unless crashes severed parts of the backbone).
+    coverage: float = 1.0
 
 
 class RangeQueryEngine:
-    """Executes range queries over a clustering + M-tree + backbone."""
+    """Executes range queries over a clustering + M-tree + backbone.
+
+    Degraded operation after fail-stop crashes: pass ``dead`` (the crashed
+    node set) and the engine returns **partial results with a coverage
+    fraction** instead of crashing — dead backbone relays cut off their
+    far-side clusters (counted as uncovered), dead nodes are filtered from
+    match sets, and a query whose own representative died is answered from
+    the surviving cluster members alone.  With ``root_replacements``
+    (re-elected representatives, after
+    :meth:`~repro.index.backbone.BackboneTree.reroute_around` repaired the
+    backbone) the replacement stands in for the dead root, pruning with a
+    conservative covering ball (replacement-to-old-root distance added to
+    the old covering radius keeps the triangle-inequality exclusions
+    sound).  Both parameters default to empty: the fault-free path is
+    untouched.
+    """
 
     def __init__(
         self,
@@ -66,12 +84,18 @@ class RangeQueryEngine:
         metric: Metric,
         mtree: MTreeIndex,
         backbone: BackboneTree,
+        *,
+        dead: "set[Hashable] | frozenset[Hashable] | None" = None,
+        root_replacements: Mapping[Hashable, Hashable] | None = None,
     ):
         self.clustering = clustering
         self.features = {k: np.asarray(v, dtype=np.float64) for k, v in features.items()}
         self.metric = metric
         self.mtree = mtree
         self.backbone = backbone
+        self._dead = frozenset(dead) if dead else frozenset()
+        self._replacements = dict(root_replacements) if root_replacements else {}
+        self._replaced_by = {repl: orig for orig, repl in self._replacements.items()}
         self._dim = int(next(iter(self.features.values())).shape[0])
         # Directional backbone summaries: (a, b) -> covering ball of every
         # cluster member on b's side of the edge.  Built once; the build
@@ -89,8 +113,9 @@ class RangeQueryEngine:
                 center = self.mtree.routing_feature[dst]
                 radius = 0.0
                 for root in side:
-                    d = self.metric.distance(center, self.mtree.routing_feature[root])
-                    radius = max(radius, d + self.mtree.covering_radius[root])
+                    root_center, root_radius = self._routing_ball(root)
+                    d = self.metric.distance(center, root_center)
+                    radius = max(radius, d + root_radius)
                 balls[(src, dst)] = (center, radius)
         return balls
 
@@ -116,28 +141,40 @@ class RangeQueryEngine:
         q = np.asarray(q, dtype=np.float64)
         stats = MessageStats()
         query_values = self._dim + 1
+        dead = self._dead
 
         # 1. Initiator -> its cluster root over the cluster tree.
         origin_root = self.clustering.root_of(initiator)
+        if dead and origin_root in dead and origin_root not in self._replacements:
+            # Unrepaired dead representative: the initiator cannot enter
+            # the backbone, so the query is answered by flooding the
+            # surviving members of its own cluster.
+            return self._local_only(q, radius, origin_root, stats, query_values)
         entry_hops = len(self.clustering.path_to_root(initiator)) - 1
         if entry_hops:
             self._charge(stats, query_values, entry_hops)
             self._charge(stats, 1, entry_hops)  # results back to initiator
+        start = self._replacements.get(origin_root, origin_root)
 
         # 2. Fan out over the backbone tree, pruning whole backbone
         #    subtrees whose covering ball cannot intersect the query ball.
         #    Only traversed edges carry the query down and the aggregate
-        #    back.
-        visited_roots: list[Hashable] = [origin_root]
-        stack: list[Hashable] = [origin_root]
-        seen = {origin_root}
+        #    back.  Dead backbone relays cut off their far side: those
+        #    clusters go uncovered rather than raising.
+        lost_roots: set[Hashable] = set()
+        visited_roots: list[Hashable] = [start]
+        stack: list[Hashable] = [start]
+        seen = {start}
         while stack:
             current = stack.pop()
             for neighbor in self.backbone.tree.neighbors(current):
                 if neighbor in seen:
                     continue
                 seen.add(neighbor)
-                center, ball_radius = self._subtree_ball[(current, neighbor)]
+                if dead and neighbor in dead:
+                    lost_roots.update(self._side_roots(current, neighbor))
+                    continue
+                center, ball_radius = self._ball_toward(current, neighbor)
                 if self.metric.distance(q, center) > radius + ball_radius:
                     continue  # the entire far-side subtree is out of range
                 hops = self.backbone.edge_hops(current, neighbor)
@@ -150,19 +187,96 @@ class RangeQueryEngine:
         matches: set[Hashable] = set()
         pruned = included = descended = 0
         for root in visited_roots:
-            d_root = self.metric.distance(q, self.mtree.routing_feature[root])
-            r_root = self.mtree.covering_radius[root]
+            center, r_root = self._routing_ball(root)
+            d_root = self.metric.distance(q, center)
             if d_root > radius + r_root:
                 pruned += 1
                 continue
             if d_root <= radius - r_root:
                 included += 1
-                matches.update(self.clustering.members(root))
+                matches.update(self._members_of(root))
                 continue
             descended += 1
-            matches.update(self._descend(q, radius, root, stats, query_values))
+            descend_root = self._replaced_by.get(root, root)
+            matches.update(self._descend(q, radius, descend_root, stats, query_values))
 
-        return RangeQueryResult(matches, stats.total_values, pruned, included, descended)
+        if dead:
+            matches.difference_update(dead)
+        coverage = self._coverage_after_losses(lost_roots)
+        return RangeQueryResult(
+            matches, stats.total_values, pruned, included, descended, coverage
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded-operation helpers (all no-ops without dead/replacements).
+    def _routing_ball(self, root: Hashable) -> tuple[np.ndarray, float]:
+        """Pruning ball of *root*, conservative for re-elected roots.
+
+        A replacement's own M-tree entry only covers its subtree, so its
+        cluster ball is the dead root's ball enlarged by the feature
+        distance between the two — sound by the triangle inequality.
+        """
+        center = self.mtree.routing_feature[root]
+        orig = self._replaced_by.get(root)
+        if orig is None:
+            return center, self.mtree.covering_radius[root]
+        slack = self.metric.distance(center, self.mtree.routing_feature[orig])
+        return center, slack + self.mtree.covering_radius[orig]
+
+    def _ball_toward(
+        self, src: Hashable, dst: Hashable
+    ) -> tuple[np.ndarray, float]:
+        ball = self._subtree_ball.get((src, dst))
+        if ball is not None:
+            return ball
+        # Edge created by backbone repair after this engine was built: no
+        # precomputed summary, so never prune across it.
+        return np.zeros(self._dim), float("inf")
+
+    def _members_of(self, root: Hashable):
+        members = self.clustering.members(self._replaced_by.get(root, root))
+        if self._dead:
+            return [m for m in members if m not in self._dead]
+        return members
+
+    def _alive_total(self) -> int:
+        return sum(1 for n in self.clustering.assignment if n not in self._dead)
+
+    def _coverage_after_losses(self, lost_roots: set[Hashable]) -> float:
+        if not lost_roots:
+            return 1.0
+        alive_total = self._alive_total()
+        if alive_total == 0:
+            return 1.0
+        uncovered = 0
+        for root in lost_roots:
+            orig = self._replaced_by.get(root, root)
+            uncovered += sum(
+                1 for m in self.clustering.members(orig) if m not in self._dead
+            )
+        return 1.0 - uncovered / alive_total
+
+    def _local_only(
+        self,
+        q: np.ndarray,
+        radius: float,
+        origin_root: Hashable,
+        stats: MessageStats,
+        query_values: int,
+    ) -> RangeQueryResult:
+        """Answer from the initiator's own surviving cluster members."""
+        alive = [
+            m for m in self.clustering.members(origin_root) if m not in self._dead
+        ]
+        for _ in range(max(len(alive) - 1, 0)):
+            self._charge(stats, query_values, 1)
+            self._charge(stats, 1, 1)
+        matches = {
+            m for m in alive if self.metric.distance(q, self.features[m]) <= radius
+        }
+        alive_total = self._alive_total()
+        coverage = len(alive) / alive_total if alive_total else 1.0
+        return RangeQueryResult(matches, stats.total_values, 0, 0, 1, coverage)
 
     # ------------------------------------------------------------------
     def _descend(

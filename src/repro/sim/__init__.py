@@ -1,12 +1,14 @@
 """Discrete-event sensor-network simulation substrate."""
 
 from repro.sim.energy import EnergyModel
+from repro.sim.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.sim.kernel import Event, EventKernel
 from repro.sim.radio import LossyLinkModel
 from repro.sim.messages import (
     CATEGORY_CLUSTERING,
     CATEGORY_DATA,
     CATEGORY_QUERY,
+    CATEGORY_REPAIR,
     CATEGORY_SYNC,
     CATEGORY_UPDATE,
     Message,
@@ -19,11 +21,15 @@ __all__ = [
     "CATEGORY_CLUSTERING",
     "CATEGORY_DATA",
     "CATEGORY_QUERY",
+    "CATEGORY_REPAIR",
     "CATEGORY_SYNC",
     "CATEGORY_UPDATE",
     "EnergyModel",
     "Event",
     "EventKernel",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "LossyLinkModel",
     "Message",
     "MessageStats",

@@ -1,0 +1,251 @@
+"""Fault injection: declarative, seed-deterministic fail-stop faults.
+
+The paper's cost model assumes reliable synchronous links, but its
+deployment targets (Tao buoys, Death Valley sensors) are settings where
+nodes die and links churn.  :class:`LossyLinkModel` covers transient loss
+with per-hop ARQ — guaranteed eventual delivery — so it cannot model
+fail-stop faults at all.  This module adds them:
+
+- :class:`FaultPlan` — a declarative schedule of fault events (node
+  crashes, optional recoveries, link up/down churn, whole-region
+  partitions).  Plans are plain data: build them explicitly event by
+  event, or stochastically via :meth:`FaultPlan.random` (seeded
+  ``numpy`` generator, so a plan is a pure function of its arguments).
+- :class:`FaultInjector` — executes a plan on a :class:`Network`'s event
+  kernel.  Crashing a node cancels its pending owned timers, drops
+  in-flight deliveries addressed to it, removes it from the
+  communication graph and invalidates the path cache — all via the
+  network's own mutators (`remove_node` etc.), never by hand-editing
+  ``network.graph``.  The injector also keeps the crash/repair
+  timeline that fault experiments report (repair latency).
+
+The injector mutates ``network.graph`` in place; callers that need the
+original topology afterwards should build the :class:`Network` over a
+copy (``graph.copy()``).
+
+With an **empty plan nothing is scheduled and nothing is touched**, so a
+zero-fault run is byte-identical to a run without an injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.network import Network
+
+#: Fault actions understood by the injector.
+CRASH = "crash"
+RECOVER = "recover"
+LINK_DOWN = "link_down"
+LINK_UP = "link_up"
+PARTITION = "partition"
+
+_ACTIONS = frozenset({CRASH, RECOVER, LINK_DOWN, LINK_UP, PARTITION})
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` is a node id for crash/recover, an ``(u, v)`` edge tuple
+    for link churn, and a tuple of region node ids for a partition (every
+    edge crossing the region boundary is severed at injection time).
+    """
+
+    time: float
+    action: str
+    target: Hashable | tuple
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """A declarative, reproducible schedule of fault events."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    # -- builders -------------------------------------------------------
+    def crash(self, time: float, node: Hashable) -> "FaultPlan":
+        """Fail-stop crash of *node* at *time*."""
+        self.events.append(FaultEvent(time, CRASH, node))
+        return self
+
+    def recover(self, time: float, node: Hashable) -> "FaultPlan":
+        """Recover a previously crashed *node* (original links, where the
+        other endpoint is still alive)."""
+        self.events.append(FaultEvent(time, RECOVER, node))
+        return self
+
+    def link_down(self, time: float, u: Hashable, v: Hashable) -> "FaultPlan":
+        """Sever the link *u*—*v* at *time*."""
+        self.events.append(FaultEvent(time, LINK_DOWN, (u, v)))
+        return self
+
+    def link_up(self, time: float, u: Hashable, v: Hashable) -> "FaultPlan":
+        """Restore a previously severed link at *time*."""
+        self.events.append(FaultEvent(time, LINK_UP, (u, v)))
+        return self
+
+    def partition(self, time: float, region: Iterable[Hashable]) -> "FaultPlan":
+        """Cut every edge between *region* and the rest of the graph."""
+        self.events.append(FaultEvent(time, PARTITION, tuple(region)))
+        return self
+
+    # -- properties -----------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def sorted_events(self) -> list[FaultEvent]:
+        """Events in injection order (time, then insertion order)."""
+        indexed = sorted(enumerate(self.events), key=lambda pair: (pair[1].time, pair[0]))
+        return [event for _, event in indexed]
+
+    # -- stochastic construction ---------------------------------------
+    @classmethod
+    def random(
+        cls,
+        nodes: Sequence[Hashable],
+        *,
+        seed: int,
+        crash_fraction: float = 0.0,
+        crash_window: tuple[float, float] = (0.0, 1.0),
+        recover_after: float | None = None,
+        churn_edges: Sequence[tuple[Hashable, Hashable]] = (),
+        churn_events: int = 0,
+        churn_window: tuple[float, float] = (0.0, 1.0),
+        churn_downtime: float = 1.0,
+        protected: Iterable[Hashable] = (),
+    ) -> "FaultPlan":
+        """Build a stochastic plan — a pure function of its arguments.
+
+        ``crash_fraction`` of *nodes* (excluding *protected*, e.g. a root
+        that anchors result collection) crash at times uniform in
+        ``crash_window``; with ``recover_after`` set, each recovers that
+        long after its crash.  ``churn_events`` picks edges from
+        ``churn_edges`` (with replacement) to flap: down at a uniform
+        time in ``churn_window``, back up ``churn_downtime`` later.
+        """
+        if not 0.0 <= crash_fraction <= 1.0:
+            raise ValueError(f"crash_fraction must be in [0, 1], got {crash_fraction}")
+        rng = np.random.default_rng(seed)
+        plan = cls()
+        protected_set = set(protected)
+        eligible = [n for n in nodes if n not in protected_set]
+        n_crash = int(round(crash_fraction * len(eligible)))
+        if n_crash:
+            victims = rng.choice(len(eligible), size=n_crash, replace=False)
+            lo, hi = crash_window
+            times = rng.uniform(lo, hi, size=n_crash)
+            for idx, t in zip(victims, times):
+                node = eligible[int(idx)]
+                plan.crash(float(t), node)
+                if recover_after is not None:
+                    plan.recover(float(t) + recover_after, node)
+        if churn_events and churn_edges:
+            picks = rng.integers(0, len(churn_edges), size=churn_events)
+            lo, hi = churn_window
+            times = rng.uniform(lo, hi, size=churn_events)
+            for idx, t in zip(picks, times):
+                u, v = churn_edges[int(idx)]
+                plan.link_down(float(t), u, v)
+                plan.link_up(float(t) + churn_downtime, u, v)
+        return plan
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` on a network's event kernel.
+
+    Usage::
+
+        injector = FaultInjector(network, plan)
+        injector.arm()          # schedules every fault on the kernel
+        network.run(...)        # faults fire interleaved with the protocol
+
+    The injector records the crash timeline and accepts repair
+    notifications from protocol layers (:meth:`note_repair`), from which
+    :meth:`repair_latencies` derives the crash→repair delay per node.
+    """
+
+    def __init__(self, network: Network, plan: FaultPlan):
+        self.network = network
+        self.plan = plan
+        self.crash_times: dict[Hashable, float] = {}
+        self.repair_times: dict[Hashable, float] = {}
+        #: (time, kind, dead_node, repairing_node) tuples, in repair order.
+        self.repairs: list[tuple[float, str, Hashable, Hashable]] = []
+        self._restore_edges: dict[Hashable, tuple[Hashable, ...]] = {}
+        self._armed = False
+
+    @property
+    def crashed(self) -> set:
+        """Nodes currently dead (live view of the network's dead set)."""
+        return self.network.dead_nodes
+
+    def arm(self) -> int:
+        """Schedule every plan event on the kernel; returns the count.
+
+        A no-op (0 events, nothing scheduled) for an empty plan, keeping
+        zero-fault runs byte-identical to runs without an injector.
+        """
+        if self._armed:
+            raise RuntimeError("FaultInjector.arm() called twice")
+        self._armed = True
+        kernel = self.network.kernel
+        for event in self.plan.sorted_events():
+            kernel.schedule_at(event.time, self._apply, event)
+        return len(self.plan.events)
+
+    def _apply(self, event: FaultEvent) -> None:
+        network = self.network
+        if event.action == CRASH:
+            if event.target in network.dead_nodes:
+                return
+            self._restore_edges[event.target] = network.remove_node(event.target)
+            self.crash_times[event.target] = network.kernel.now
+        elif event.action == RECOVER:
+            if event.target not in network.dead_nodes:
+                return
+            network.restore_node(event.target, self._restore_edges.pop(event.target, ()))
+        elif event.action == LINK_DOWN:
+            u, v = event.target
+            network.remove_edge(u, v)
+        elif event.action == LINK_UP:
+            u, v = event.target
+            network.restore_edge(u, v)
+        elif event.action == PARTITION:
+            region = set(event.target)
+            graph = network.graph
+            cut = [
+                (u, v)
+                for u, v in graph.edges
+                if (u in region) != (v in region)
+            ]
+            for u, v in cut:
+                network.remove_edge(u, v)
+
+    # -- repair bookkeeping --------------------------------------------
+    def note_repair(self, kind: str, dead: Hashable, by: Hashable) -> None:
+        """Record that *by* repaired around crashed node *dead* (e.g. a
+        sentinel takeover, an orphan re-election).  First notice per dead
+        node sets its repair time."""
+        now = self.network.kernel.now
+        self.repairs.append((now, kind, dead, by))
+        if dead not in self.repair_times:
+            self.repair_times[dead] = now
+
+    def repair_latencies(self) -> list[float]:
+        """Crash→first-repair delay for every repaired crashed node."""
+        return [
+            self.repair_times[node] - self.crash_times[node]
+            for node in self.repair_times
+            if node in self.crash_times
+        ]

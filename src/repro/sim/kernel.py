@@ -35,21 +35,27 @@ class Event:
     the kernel skips it when it reaches the head of the heap (lazy deletion).
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired")
 
     def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Safe to call more than once."""
+        """Prevent the event from firing.  Safe to call more than once.
+
+        Cancelling after the event has fired is a no-op (the callback has
+        already run); owner registries rely on this so that crashing a node
+        can blanket-cancel its timers without tracking which already fired.
+        """
         self.cancelled = True
 
     def __repr__(self) -> str:
         name = getattr(self.callback, "__qualname__", repr(self.callback))
-        state = "cancelled" if self.cancelled else "pending"
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
         return f"Event(t={self.time:.3f}, {name}, {state})"
 
 
@@ -140,6 +146,8 @@ class EventKernel:
                 )
             heapq.heappop(heap)
             self.now = entry[0]
+            if event is not None:
+                event.fired = True
             entry[3](*entry[4])
             executed += 1
             self._events_executed += 1
@@ -155,6 +163,8 @@ class EventKernel:
             if event is not None and event.cancelled:
                 continue
             self.now = entry[0]
+            if event is not None:
+                event.fired = True
             entry[3](*entry[4])
             self._events_executed += 1
             return True

@@ -36,6 +36,7 @@ CATEGORY_SYNC = "sync"
 CATEGORY_QUERY = "query"
 CATEGORY_UPDATE = "update"
 CATEGORY_DATA = "data"
+CATEGORY_REPAIR = "repair"
 
 _DEFAULT_CATEGORIES = {
     "expand": CATEGORY_CLUSTERING,
@@ -50,6 +51,14 @@ _DEFAULT_CATEGORIES = {
     "update": CATEGORY_UPDATE,
     "feature": CATEGORY_DATA,
     "raw": CATEGORY_DATA,
+    # Failure detection and repair traffic (DESIGN.md §9): liveness probes,
+    # parent heartbeats and sentinel-failover takeovers are charged to a
+    # separate category so fault experiments can report repair overhead
+    # independently of the paper's clustering/sync totals.
+    "probe": CATEGORY_REPAIR,
+    "hb": CATEGORY_REPAIR,
+    "probe_sentinel": CATEGORY_REPAIR,
+    "takeover": CATEGORY_REPAIR,
 }
 
 

@@ -20,11 +20,25 @@ Delivery modes:
 Nodes are any object with a ``handle_message(message)`` method, registered
 via :meth:`register`.
 
+Fault semantics (DESIGN.md §9): once the topology has been mutated through
+the mutators, deliveries involving dead nodes or severed links become
+**structured failures** — :meth:`send` returns ``False``, :meth:`route` /
+:meth:`route_along` return ``-1`` — recorded in
+:attr:`MessageStats.drops_by_reason <repro.sim.stats.MessageStats>` instead
+of raising mid-simulation.  Failures are synchronous at the sender (the
+link layer knows its ack never came), which is what protocol-level failure
+detection keys off.  Genuine programming errors (sending over an edge that
+never existed, routing in a graph that was disconnected from the start)
+still raise, so the fault path cannot mask bugs in fault-free runs.
+
 Performance notes (see DESIGN.md, "Fast-path simulation engine"):
 
 - Adjacency sets and neighbour tuples are precomputed at construction, so
   the per-message path never touches ``graph.has_edge``/``graph.neighbors``.
-  Mutating ``self.graph`` afterwards requires :meth:`invalidate_paths`.
+  Topology changes go through the mutators :meth:`remove_node` /
+  :meth:`restore_node` / :meth:`remove_edge` / :meth:`restore_edge`, which
+  invalidate the path cache themselves; hand-mutating ``self.graph``
+  requires a manual :meth:`invalidate_paths`.
 - When ``jitter == 0 and loss is None`` (the paper's synchronous reliable
   model, and the default) deliveries take a zero-overhead fast path:
   constant hop delay, no RNG call, no per-attempt loop, and a single
@@ -45,14 +59,14 @@ Performance notes (see DESIGN.md, "Fast-path simulation engine"):
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Iterable, Protocol, Sequence
+from typing import Callable, Hashable, Iterable, Protocol, Sequence
 
 import networkx as nx
 import numpy as np
 
 from repro._validation import require_positive
 from repro.sim.energy import EnergyModel
-from repro.sim.kernel import EventKernel
+from repro.sim.kernel import Event, EventKernel
 from repro.sim.messages import Message
 from repro.sim.radio import LossyLinkModel
 from repro.sim.stats import MessageStats
@@ -130,6 +144,18 @@ class Network:
         #: unit-delay, reliable links — the paper's cost model).
         self._fast = jitter == 0.0 and loss is None
         self._handlers: dict[Hashable, MessageHandler] = {}
+        #: Nodes removed by :meth:`remove_node` (fail-stop crashes).
+        self.dead_nodes: set[Hashable] = set()
+        #: Currently-severed links (frozenset endpoints) from :meth:`remove_edge`.
+        self._removed_edges: set[frozenset] = set()
+        #: True once any mutator has run; gates every fault check so the
+        #: zero-fault delivery paths stay byte-identical and branch-cheap.
+        self._mutated = False
+        #: Cancellable timers registered per owning node (crash cleanup).
+        self._owned_timers: dict[Hashable, list[Event]] = {}
+        #: Optional observer called as ``on_drop(message, reason)`` after a
+        #: structured delivery failure is recorded.
+        self.on_drop: Callable[[Message, str], None] | None = None
         self._path_cache_size = path_cache_size
         self._path_cache: OrderedDict[tuple[Hashable, Hashable], tuple[Hashable, ...]] = (
             OrderedDict()
@@ -206,11 +232,24 @@ class Network:
     # ------------------------------------------------------------------
     # delivery
     # ------------------------------------------------------------------
-    def send(self, message: Message) -> None:
-        """Unicast *message* one hop to a direct neighbour of its source."""
+    def send(self, message: Message) -> bool:
+        """Unicast *message* one hop to a direct neighbour of its source.
+
+        Returns ``True`` on (scheduled) delivery.  After a topology fault,
+        sends to a crashed neighbour or over a severed link return ``False``
+        and record a structured drop — the synchronous link layer tells the
+        sender its transmission was not acknowledged.
+        """
         src = message.src
         neighbours = self._adj_sets.get(src)
         if neighbours is None or message.dst not in neighbours:
+            if self._mutated:
+                reason = self._endpoint_failure(src, message.dst)
+                if reason is None and frozenset((src, message.dst)) in self._removed_edges:
+                    reason = "link_down"
+                if reason is not None:
+                    self._drop(message, reason)
+                    return False
             raise ValueError(
                 f"send() requires adjacency: {message.src!r} -> {message.dst!r} "
                 "is not an edge; use route() for multi-hop delivery"
@@ -220,10 +259,11 @@ class Network:
             if self.energy is not None:
                 self.energy.charge_hop(src, message.dst, message.values)
             self.kernel.post(self.hop_delay, self._deliver, message)
-            return
+            return True
         attempts = self._hop_cost(src, message.dst, message)
         delay = sum(self._sample_hop_delay() for _ in range(attempts))
         self.kernel.post(delay, self._deliver, message)
+        return True
 
     def broadcast(self, src: Hashable, make_message) -> int:
         """Send ``make_message(neighbor)`` to every neighbour of *src*.
@@ -232,9 +272,11 @@ class Network:
         Returns the number of copies sent.
         """
         count = 0
+        if self._mutated and src in self.dead_nodes:
+            return 0
         for neighbor in self._adj[src]:
-            self.send(make_message(neighbor))
-            count += 1
+            if self.send(make_message(neighbor)):
+                count += 1
         return count
 
     def route(self, message: Message) -> int:
@@ -242,7 +284,23 @@ class Network:
 
         Cost: ``values × hops``; delay: ``hops × hop_delay``.  A message to
         self is free and delivered after one delay unit (processing time).
+
+        After a topology fault, an unreachable/dead destination yields a
+        structured drop and returns ``-1`` instead of raising; a graph that
+        was disconnected from the start (never mutated) still raises
+        :class:`networkx.NetworkXNoPath` — that is a configuration bug.
         """
+        if self._mutated:
+            reason = self._endpoint_failure(message.src, message.dst)
+            if reason is None:
+                try:
+                    path = self.shortest_path(message.src, message.dst)
+                except (nx.NodeNotFound, nx.NetworkXNoPath):
+                    reason = "no_route"
+            if reason is not None:
+                self._drop(message, reason)
+                return -1
+            return self._traverse(path, message)
         path = self.shortest_path(message.src, message.dst)
         return self._traverse(path, message)
 
@@ -250,13 +308,27 @@ class Network:
         """Deliver *message* along an explicit *path* (src ... dst).
 
         The path must start at ``message.src``, end at ``message.dst`` and
-        follow graph edges.  Returns the hop count.
+        follow graph edges.  Returns the hop count, or ``-1`` (with a
+        structured drop) when a fault has removed a node or link on the
+        path.
         """
         if not path or path[0] != message.src or path[-1] != message.dst:
             raise ValueError("path must run from message.src to message.dst")
         adj_sets = self._adj_sets
+        if self._mutated:
+            reason = self._endpoint_failure(message.src, message.dst)
+            if reason is not None:
+                self._drop(message, reason)
+                return -1
         for a, b in zip(path, path[1:]):
             if b not in adj_sets.get(a, ()):
+                if self._mutated:
+                    if a in self.dead_nodes or b in self.dead_nodes:
+                        self._drop(message, "dead_relay")
+                        return -1
+                    if frozenset((a, b)) in self._removed_edges:
+                        self._drop(message, "link_down")
+                        return -1
                 raise ValueError(f"path step {a!r} -> {b!r} is not a graph edge")
         return self._traverse(path, message)
 
@@ -283,7 +355,123 @@ class Network:
         return hops
 
     def _deliver(self, message: Message) -> None:
+        if self.dead_nodes and message.dst in self.dead_nodes:
+            # In-flight delivery to a node that crashed after the send was
+            # scheduled: the transmission cost was already charged; the
+            # message silently disappears at the dead radio.
+            self._drop(message, "dead_destination")
+            return
         self.handler(message.dst).handle_message(message)
+
+    # ------------------------------------------------------------------
+    # faults: structured failures, topology mutators, owned timers
+    # ------------------------------------------------------------------
+    def _endpoint_failure(self, src: Hashable, dst: Hashable) -> str | None:
+        """Reason string if either endpoint is dead, else None."""
+        if src in self.dead_nodes:
+            return "dead_source"
+        if dst in self.dead_nodes:
+            return "dead_destination"
+        return None
+
+    def _drop(self, message: Message, reason: str) -> None:
+        """Record a structured delivery failure and notify the observer."""
+        self.stats.record_drop(message, reason)
+        if self.on_drop is not None:
+            self.on_drop(message, reason)
+
+    def is_alive(self, node_id: Hashable) -> bool:
+        """False once *node_id* has been crashed via :meth:`remove_node`."""
+        return node_id not in self.dead_nodes
+
+    def remove_node(self, node_id: Hashable) -> tuple[Hashable, ...]:
+        """Fail-stop crash: remove *node_id* and its incident edges.
+
+        Cancels every pending timer registered for the node via
+        :meth:`schedule_owned`, marks it dead (so in-flight deliveries to it
+        drop), mutates ``self.graph`` and invalidates the path cache.
+        Returns the node's neighbours at crash time, for a later
+        :meth:`restore_node`.  Idempotent: crashing a dead node returns
+        ``()``.
+        """
+        if node_id in self.dead_nodes:
+            return ()
+        if node_id not in self._adj:
+            raise KeyError(f"node {node_id!r} is not in the communication graph")
+        neighbours = self._adj[node_id]
+        self.cancel_owned(node_id)
+        self.graph.remove_node(node_id)
+        self.dead_nodes.add(node_id)
+        self._mutated = True
+        self.invalidate_paths()
+        return neighbours
+
+    def restore_node(self, node_id: Hashable, neighbours: Iterable[Hashable] = ()) -> None:
+        """Recover a crashed node, re-attaching it to the still-alive subset
+        of *neighbours* (typically the tuple :meth:`remove_node` returned;
+        links independently severed by :meth:`remove_edge` stay down)."""
+        self.graph.add_node(node_id)
+        for nbr in neighbours:
+            if (
+                nbr in self.graph
+                and nbr not in self.dead_nodes
+                and frozenset((node_id, nbr)) not in self._removed_edges
+            ):
+                self.graph.add_edge(node_id, nbr)
+        self.dead_nodes.discard(node_id)
+        self._mutated = True
+        self.invalidate_paths()
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Sever the link *u*—*v* (churn).  Returns False if already down."""
+        if not self.graph.has_edge(u, v):
+            return False
+        self.graph.remove_edge(u, v)
+        self._removed_edges.add(frozenset((u, v)))
+        self._mutated = True
+        self.invalidate_paths()
+        return True
+
+    def restore_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Bring a severed link back up.  Returns False if the link was not
+        severed by :meth:`remove_edge` or an endpoint is (still) dead."""
+        key = frozenset((u, v))
+        if key not in self._removed_edges:
+            return False
+        if u in self.dead_nodes or v in self.dead_nodes:
+            return False
+        self._removed_edges.discard(key)
+        self.graph.add_edge(u, v)
+        self._mutated = True
+        self.invalidate_paths()
+        return True
+
+    def schedule_owned(
+        self, owner: Hashable, delay: float, callback, *args
+    ) -> Event:
+        """Schedule a cancellable timer registered to *owner*.
+
+        Crashing *owner* via :meth:`remove_node` blanket-cancels all its
+        pending timers; fired timers are pruned lazily.
+        """
+        event = self.kernel.schedule(delay, callback, *args)
+        bucket = self._owned_timers.setdefault(owner, [])
+        bucket.append(event)
+        if len(bucket) > 64:
+            self._owned_timers[owner] = [
+                ev for ev in bucket if not ev.fired and not ev.cancelled
+            ]
+        return event
+
+    def cancel_owned(self, owner: Hashable) -> int:
+        """Cancel every pending timer registered to *owner*; returns the
+        number of timers that were still pending."""
+        cancelled = 0
+        for event in self._owned_timers.pop(owner, ()):
+            if not event.fired and not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        return cancelled
 
     # ------------------------------------------------------------------
     # paths
@@ -346,10 +534,12 @@ class Network:
         """Resynchronize with ``self.graph`` after a topology mutation.
 
         The network precomputes adjacency and caches shortest paths, so any
-        mutation of ``self.graph`` (adding/removing nodes or edges — e.g.
-        simulating node failures or link churn) MUST be followed by a call
-        to this method; otherwise sends keep validating against the old
-        adjacency and routes silently follow stale paths.
+        *hand*-mutation of ``self.graph`` MUST be followed by a call to this
+        method; otherwise sends keep validating against the old adjacency
+        and routes silently follow stale paths.  Prefer the mutators
+        (:meth:`remove_node` / :meth:`restore_node` / :meth:`remove_edge` /
+        :meth:`restore_edge`), which call this themselves and additionally
+        maintain the structured-failure bookkeeping.
         """
         self._path_cache.clear()
         self._rebuild_adjacency()

@@ -35,13 +35,21 @@ class ProtocolNode:
     # ------------------------------------------------------------------
     # messaging helpers
     # ------------------------------------------------------------------
-    def send(self, dst: Hashable, kind: str, payload: Any = None, *, values: int = 1) -> None:
-        """Single-hop unicast to a direct neighbour."""
-        self.network.send(Message(kind, self.node_id, dst, payload, values))
+    def send(self, dst: Hashable, kind: str, payload: Any = None, *, values: int = 1) -> bool:
+        """Single-hop unicast to a direct neighbour.
 
-    def route(self, dst: Hashable, kind: str, payload: Any = None, *, values: int = 1) -> None:
-        """Multi-hop unicast along a shortest path."""
-        self.network.route(Message(kind, self.node_id, dst, payload, values))
+        Returns the network receipt: ``False`` when the link layer reports a
+        structured delivery failure (dead neighbour, severed link).
+        """
+        return self.network.send(Message(kind, self.node_id, dst, payload, values))
+
+    def route(self, dst: Hashable, kind: str, payload: Any = None, *, values: int = 1) -> int:
+        """Multi-hop unicast along a shortest path.
+
+        Returns the hop count, or ``-1`` on a structured delivery failure
+        (dead/unreachable destination after a fault).
+        """
+        return self.network.route(Message(kind, self.node_id, dst, payload, values))
 
     def broadcast(self, kind: str, payload: Any = None, *, values: int = 1) -> int:
         """Send a copy to every neighbour; returns the number of copies."""
@@ -51,8 +59,10 @@ class ProtocolNode:
         )
 
     def set_timer(self, delay: float, callback, *args) -> Event:
-        """Schedule *callback* on the shared kernel; returns a cancellable event."""
-        return self.network.kernel.schedule(delay, callback, *args)
+        """Schedule *callback* on the shared kernel; returns a cancellable
+        event.  The timer is registered under this node's id, so crashing
+        the node (``Network.remove_node``) cancels it."""
+        return self.network.schedule_owned(self.node_id, delay, callback, *args)
 
     @property
     def now(self) -> float:

@@ -7,6 +7,13 @@ Two complementary counters are kept per message kind and per category:
 
 Experiments report ``values`` totals; ``packets`` is useful for debugging
 and for the complexity checks (Theorems 2–3 bound packet counts).
+
+A third family counts **delivery failures**: messages the network layer
+dropped as structured failures (dead destination, severed link, no
+surviving route) instead of raising mid-simulation.  Failed messages are
+never charged hops — they record ``drops_by_kind`` / ``drops_by_reason``
+instead, so fault experiments can report loss without polluting the
+paper's message metric.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ class MessageStats:
     values_by_kind: Counter = field(default_factory=Counter)
     packets_by_category: Counter = field(default_factory=Counter)
     values_by_category: Counter = field(default_factory=Counter)
+    drops_by_kind: Counter = field(default_factory=Counter)
+    drops_by_reason: Counter = field(default_factory=Counter)
     # Running totals, so total_packets/total_values are O(1) — hot paths
     # (e.g. per-update cost deltas) read them once or twice per message.
     _total_packets: int = field(default=0, repr=False, compare=False)
@@ -57,6 +66,16 @@ class MessageStats:
         self._total_packets += hops
         self._total_values += total
 
+    def record_drop(self, message: Message, reason: str) -> None:
+        """Record a structured delivery failure (no hops are charged)."""
+        self.drops_by_kind[message.kind] += 1
+        self.drops_by_reason[reason] += 1
+
+    @property
+    def total_drops(self) -> int:
+        """Messages dropped as structured delivery failures."""
+        return sum(self.drops_by_reason.values())
+
     @property
     def total_packets(self) -> int:
         """Point-to-point transmissions recorded (one per hop)."""
@@ -78,6 +97,8 @@ class MessageStats:
             values_by_kind=Counter(self.values_by_kind),
             packets_by_category=Counter(self.packets_by_category),
             values_by_category=Counter(self.values_by_category),
+            drops_by_kind=Counter(self.drops_by_kind),
+            drops_by_reason=Counter(self.drops_by_reason),
         )
 
     def diff(self, earlier: "MessageStats") -> "MessageStats":
@@ -87,6 +108,8 @@ class MessageStats:
             values_by_kind=self.values_by_kind - earlier.values_by_kind,
             packets_by_category=self.packets_by_category - earlier.packets_by_category,
             values_by_category=self.values_by_category - earlier.values_by_category,
+            drops_by_kind=self.drops_by_kind - earlier.drops_by_kind,
+            drops_by_reason=self.drops_by_reason - earlier.drops_by_reason,
         )
 
     def reset(self) -> None:
@@ -95,6 +118,8 @@ class MessageStats:
         self.values_by_kind.clear()
         self.packets_by_category.clear()
         self.values_by_category.clear()
+        self.drops_by_kind.clear()
+        self.drops_by_reason.clear()
         self._total_packets = 0
         self._total_values = 0
 

@@ -175,3 +175,40 @@ def test_elink_valid_under_jitter_both_modes():
         assert validate_clustering(
             topology.graph, result.clustering, features, metric, 0.5
         ) == [], mode
+
+
+# ----------------------------------------------------------------------
+# lossy links: sampler edge cases
+# ----------------------------------------------------------------------
+def test_loss_max_attempts_caps_samples():
+    model = LossyLinkModel(0.99, seed=5, max_attempts=10)
+    samples = [model.attempts_for_hop() for _ in range(500)]
+    assert max(samples) == 10  # p=0.99 overwhelmingly exceeds the cap
+    assert min(samples) >= 1
+
+
+def test_loss_buffer_refills_at_chunk_boundary():
+    from repro.sim.radio import _SAMPLE_CHUNK
+
+    model = LossyLinkModel(0.3, seed=9)
+    for _ in range(_SAMPLE_CHUNK):
+        model.attempts_for_hop()
+    assert model._cursor == _SAMPLE_CHUNK  # buffer exactly exhausted
+    model.attempts_for_hop()  # triggers the refill
+    assert model._cursor == 1
+
+
+def test_loss_determinism_across_refills():
+    from repro.sim.radio import _SAMPLE_CHUNK
+
+    n = 2 * _SAMPLE_CHUNK + 17  # spans three buffers
+    a = LossyLinkModel(0.4, seed=21)
+    b = LossyLinkModel(0.4, seed=21)
+    assert [a.attempts_for_hop() for _ in range(n)] == [
+        b.attempts_for_hop() for _ in range(n)
+    ]
+    # The chunked draws consume the generator exactly like scalar draws.
+    rng = np.random.default_rng(21)
+    expected = [max(1, int(x)) for x in rng.geometric(0.6, size=3 * _SAMPLE_CHUNK)][:n]
+    c = LossyLinkModel(0.4, seed=21)
+    assert [c.attempts_for_hop() for _ in range(n)] == expected

@@ -42,7 +42,8 @@ def test_registry_is_complete():
         "fig01", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
         "fig15", "complexity", "path_query",
         "ablation_signalling", "ablation_switching", "ablation_loss",
-        "ablation_asynchrony", "optimality_gap", "energy_hotspots",
+        "ablation_asynchrony", "ablation_failures", "optimality_gap",
+        "energy_hotspots",
     }
 
 

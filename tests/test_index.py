@@ -123,3 +123,37 @@ def test_backbone_build_cost_positive_for_multiple_clusters(
     clustering, metric = _clustered(small_grid, small_grid_features, delta=0.5)
     backbone = build_backbone(small_grid.graph, clustering)
     assert backbone.build_messages > 0
+
+
+# ----------------------------------------------------------------------
+# backbone repair after a cluster-root crash
+# ----------------------------------------------------------------------
+def test_reroute_around_replaces_dead_root(small_grid, small_grid_features):
+    clustering, metric = _clustered(small_grid, small_grid_features)
+    backbone = build_backbone(small_grid.graph, clustering)
+    dead = next(r for r in clustering.roots if backbone.tree.degree(r) >= 1)
+    neighbours = list(backbone.tree.neighbors(dead))
+    replacement = next(
+        m for m in clustering.members(dead) if m != dead
+    )
+    surviving = small_grid.graph.copy()
+    surviving.remove_node(dead)
+    repair_values_before = backbone.stats.category_values("repair")
+    rerouted = backbone.reroute_around(surviving, dead, replacement)
+    assert dead not in backbone.tree
+    assert replacement in backbone.tree
+    assert rerouted == len([n for n in neighbours if n != replacement])
+    for neighbour in backbone.tree.neighbors(replacement):
+        path = backbone.path(replacement, neighbour)
+        assert path[0] == replacement and path[-1] == neighbour
+        assert dead not in path
+        assert all(surviving.has_edge(a, b) for a, b in zip(path, path[1:]))
+    # Repair traffic is charged and visible in the repair category.
+    assert backbone.stats.category_values("repair") > repair_values_before
+
+
+def test_reroute_around_unknown_root_raises(small_grid, small_grid_features):
+    clustering, metric = _clustered(small_grid, small_grid_features)
+    backbone = build_backbone(small_grid.graph, clustering)
+    with pytest.raises(KeyError):
+        backbone.reroute_around(small_grid.graph, "not-a-root", 0)

@@ -161,3 +161,54 @@ def test_pending_counts_queued_events():
     assert kernel.pending == 2
     kernel.run()
     assert kernel.pending == 0
+
+
+# ----------------------------------------------------------------------
+# cancellation safety for crashed nodes' timers
+# ----------------------------------------------------------------------
+def test_cancel_after_fire_is_noop():
+    kernel = EventKernel()
+    seen = []
+    event = kernel.schedule(1.0, seen.append, "a")
+    kernel.run()
+    assert event.fired and seen == ["a"]
+    event.cancel()  # blanket-cancel of a crashed node's timers hits these
+    assert seen == ["a"]
+    assert "fired" in repr(event)
+
+
+def test_double_cancel_is_safe():
+    kernel = EventKernel()
+    seen = []
+    event = kernel.schedule(1.0, seen.append, "a")
+    event.cancel()
+    event.cancel()
+    kernel.run()
+    assert seen == []
+    assert not event.fired
+    assert "cancelled" in repr(event)
+
+
+def test_cancelled_event_skipped_by_step():
+    kernel = EventKernel()
+    seen = []
+    kernel.schedule(1.0, seen.append, "a").cancel()
+    kernel.schedule(2.0, seen.append, "b")
+    assert kernel.step() is True
+    assert seen == ["b"]
+
+
+def test_kernel_resumes_across_fault_events():
+    """run(until=...) then more scheduling then run() — the pattern a
+    fault injector interleaves with a protocol."""
+    kernel = EventKernel()
+    seen = []
+    kernel.schedule(1.0, seen.append, "protocol-1")
+    kernel.schedule(5.0, seen.append, "protocol-2")
+    kernel.run(until=2.0)
+    assert seen == ["protocol-1"]
+    assert kernel.now == 2.0
+    kernel.schedule(1.0, seen.append, "fault")  # lands at t=3, before p-2
+    kernel.run()
+    assert seen == ["protocol-1", "fault", "protocol-2"]
+    assert kernel.now == 5.0

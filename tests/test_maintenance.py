@@ -234,3 +234,47 @@ def test_elink_updates_cheaper_than_centralized_on_stream():
         session.update_feature(node, new)
         baseline.update_feature(node, new)
     assert baseline.total_messages() > 3 * session.total_messages()
+
+
+# ----------------------------------------------------------------------
+# fail-stop removal (fault repair layer)
+# ----------------------------------------------------------------------
+def test_remove_member_repairs_tree():
+    topology, features, session = _session()
+    before = session.num_clusters
+    victim = next(
+        n for n, r in session.assignment.items() if r != n  # a non-root member
+    )
+    session.remove_node(victim)
+    assert victim not in session.assignment
+    clustering = session.current_clustering()
+    graph = topology.graph.subgraph(set(session.assignment))
+    from repro.core import validate_clustering
+    from repro.features import EuclideanMetric
+
+    assert not validate_clustering(
+        graph, clustering, features, EuclideanMetric(), DELTA
+    )
+    assert session.num_clusters >= before  # repair never loses survivors
+
+
+def test_remove_root_reelects_and_keeps_pruning_feature():
+    topology, features, session = _session()
+    root = next(r for r in set(session.assignment.values()))
+    members = [n for n, r in session.assignment.items() if r == root and n != root]
+    old_base = session.root_features[root].copy()
+    session.remove_node(root)
+    assert root not in session.assignment
+    # Every old member survives, re-rooted, and new roots keep the dead
+    # root's feature as pruning feature (δ/2 guarantee survives).
+    for member in members:
+        new_root = session.assignment[member]
+        assert new_root != root
+        np.testing.assert_allclose(session.root_features[new_root], old_base)
+
+
+def test_remove_unknown_node_is_noop():
+    _, _, session = _session()
+    before = dict(session.assignment)
+    session.remove_node("never-existed")
+    assert session.assignment == before

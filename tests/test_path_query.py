@@ -192,3 +192,35 @@ def test_maximin_unreachable_destination():
     features = {0: np.array([0.0]), 1: np.array([1.0])}
     result = maximin_safe_path(graph, features, EuclideanMetric(), 0, 1, np.array([9.0]))
     assert result.path is None
+
+
+# ----------------------------------------------------------------------
+# degraded operation: dead representatives, partial coverage
+# ----------------------------------------------------------------------
+def test_fault_free_path_query_full_coverage():
+    topology, features = _terrain_instance()
+    engine, metric = _engine(topology, features)
+    result = engine.query(0, 56, np.array([10.0]), gamma=5.0)
+    assert result.coverage == 1.0
+
+
+def test_dead_representative_partial_coverage():
+    topology, features = _terrain_instance()
+    metric = EuclideanMetric()
+    clustering = run_elink(
+        topology, features, metric, ELinkConfig(delta=2.0)
+    ).clustering
+    mtree = build_mtree(clustering, features, metric)
+    dead = next(r for r in clustering.roots if len(clustering.members(r)) >= 2)
+    engine = PathQueryEngine(
+        topology.graph, clustering, features, metric, mtree, dead={dead}
+    )
+    # gamma=0: every classified node is safe; the dead root's cluster is
+    # unclassifiable and counted uncovered.
+    result = engine.query(0, 56, np.array([10.0]), gamma=0.0)
+    lost = len(clustering.members(dead)) - 1  # the dead node itself aside
+    alive = len(topology.graph.nodes) - 1
+    assert result.coverage == pytest.approx(1.0 - lost / alive)
+    if result.path is not None:
+        assert dead not in result.path
+        assert not set(result.path) & set(clustering.members(dead))

@@ -154,3 +154,116 @@ def test_clustered_query_beats_tag_on_correlated_data():
         assert out.matches == brute_force_range(features, metric, q, 0.1)
         clustered_costs.append(out.messages)
     assert np.mean(clustered_costs) < tag.per_query_cost()
+
+
+# ----------------------------------------------------------------------
+# degraded operation: dead nodes, partial coverage, backbone repair
+# ----------------------------------------------------------------------
+from repro.features import EuclideanMetric as _Metric
+from repro.index import build_backbone as _build_backbone
+from repro.index import build_mtree as _build_mtree
+
+
+def _fault_engine(topology, features, delta, dead=None, root_replacements=None):
+    metric = _Metric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=delta)).clustering
+    mtree = _build_mtree(clustering, features, metric)
+    backbone = _build_backbone(topology.graph, clustering)
+    engine = RangeQueryEngine(
+        clustering,
+        features,
+        metric,
+        mtree,
+        backbone,
+        dead=dead,
+        root_replacements=root_replacements,
+    )
+    return engine, clustering, backbone, metric
+
+
+def test_fault_free_query_reports_full_coverage(random_topology, random_features):
+    engine, metric = _engine_for(random_topology, random_features, delta=1.5)
+    node = next(iter(random_topology.graph.nodes))
+    assert engine.query(np.zeros(2), 1e6, node).coverage == 1.0
+
+
+def test_dead_backbone_leaf_yields_partial_coverage(random_topology, random_features):
+    engine, clustering, backbone, metric = _fault_engine(
+        random_topology, random_features, delta=1.5
+    )
+    if clustering.num_clusters < 2:
+        pytest.skip("single-cluster instance")
+    # A backbone leaf: killing it loses exactly its own cluster.
+    dead = next(r for r in clustering.roots if backbone.tree.degree(r) == 1)
+    engine, clustering, backbone, metric = _fault_engine(
+        random_topology, random_features, delta=1.5, dead={dead}
+    )
+    initiator = next(
+        n for n in random_topology.graph.nodes if clustering.root_of(n) != dead
+    )
+    out = engine.query(np.zeros(2), 1e6, initiator)
+    lost = set(clustering.members(dead))
+    alive = set(random_topology.graph.nodes) - {dead}
+    assert out.matches == alive - lost
+    expected = 1.0 - (len(lost) - 1) / len(alive)
+    assert out.coverage == pytest.approx(expected)
+
+
+def test_dead_origin_root_answers_locally(random_topology, random_features):
+    engine, clustering, backbone, metric = _fault_engine(
+        random_topology, random_features, delta=1.5
+    )
+    if clustering.num_clusters < 2:
+        pytest.skip("single-cluster instance")
+    dead = next(
+        (r for r in clustering.roots if len(clustering.members(r)) >= 2), None
+    )
+    if dead is None:
+        pytest.skip("needs a surviving cluster member")
+    members = set(clustering.members(dead))
+    engine, clustering, backbone, metric = _fault_engine(
+        random_topology, random_features, delta=1.5, dead={dead}
+    )
+    initiator = next(m for m in members if m != dead)
+    out = engine.query(np.zeros(2), 1e6, initiator)
+    assert out.matches == members - {dead}
+    alive = len(random_topology.graph.nodes) - 1
+    assert out.coverage == pytest.approx((len(members) - 1) / alive)
+
+
+def test_replacement_root_restores_coverage(random_topology, random_features):
+    engine, clustering, backbone, metric = _fault_engine(
+        random_topology, random_features, delta=1.5
+    )
+    if clustering.num_clusters < 2:
+        pytest.skip("single-cluster instance")
+    dead = next(
+        (
+            r
+            for r in clustering.roots
+            if backbone.tree.degree(r) >= 1 and len(clustering.members(r)) >= 2
+        ),
+        None,
+    )
+    if dead is None:
+        pytest.skip("needs a surviving cluster member")
+    replacement = next(m for m in clustering.members(dead) if m != dead)
+    surviving = random_topology.graph.copy()
+    surviving.remove_node(dead)
+    mtree = _build_mtree(clustering, random_features, metric)
+    rerouted = backbone.reroute_around(surviving, dead, replacement)
+    engine = RangeQueryEngine(
+        clustering,
+        random_features,
+        metric,
+        mtree,
+        backbone,
+        dead={dead},
+        root_replacements={dead: replacement},
+    )
+    initiator = next(
+        n for n in surviving.nodes if clustering.root_of(n) != dead
+    )
+    out = engine.query(np.zeros(2), 1e6, initiator)
+    assert out.matches == set(surviving.nodes)
+    assert out.coverage == 1.0

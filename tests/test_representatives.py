@@ -71,3 +71,19 @@ def test_error_bound_property(seed, delta):
     errors = sampler.reconstruction_error(features)
     # Pairwise delta-compactness bounds the estimate error by delta.
     assert max(errors.values()) <= delta + 1e-9
+
+
+def test_partial_reconstruct_tolerates_dead_representatives():
+    topology, features, clustering, sampler = _setup()
+    roots = clustering.roots
+    sampled = {root: features[root] for root in roots}
+    dead_root = roots[0]
+    del sampled[dead_root]
+    with pytest.raises(ValueError, match="missing cluster roots"):
+        sampler.reconstruct(sampled)
+    estimates = sampler.reconstruct(sampled, partial=True)
+    lost = set(clustering.members(dead_root))
+    assert set(estimates) == set(clustering.assignment) - lost
+    coverage = sampler.coverage(sampled)
+    assert coverage == pytest.approx(1.0 - len(lost) / len(clustering.assignment))
+    assert sampler.coverage({root: features[root] for root in roots}) == 1.0
