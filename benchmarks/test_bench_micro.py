@@ -104,6 +104,32 @@ def test_send_throughput(benchmark, model):
     assert sum(n.count for n in nodes.values()) > 0
 
 
+def test_send_throughput_traced(benchmark):
+    """Single-hop fast-path delivery with a tracer attached.
+
+    The untraced ``test_send_throughput[fast]`` is the zero-cost-when-
+    disabled reference; the gap between the two is the full price of
+    tracing (event construction + ring append), paid only by opted-in
+    runs.
+    """
+    from repro.obs import Tracer
+
+    topology = grid_topology(12, 12)
+    tracer = Tracer()
+    network = Network(topology.graph, EventKernel(), tracer=tracer)
+    nodes = {v: _Sink(v, network) for v in topology.graph.nodes}
+    edges = list(network.graph.edges)
+
+    def burst():
+        for a, b in edges:
+            network.send(Message("feature", a, b))
+        network.run()
+
+    benchmark(burst)
+    assert sum(n.count for n in nodes.values()) > 0
+    assert tracer.emitted > 0
+
+
 @pytest.mark.parametrize("model", ["fast", "jittery", "lossy"])
 def test_route_throughput(benchmark, model):
     """Multi-hop routing throughput (shortest-path cache + per-hop model)."""

@@ -73,6 +73,7 @@ from repro.geometry import (
 from repro.index import BackboneTree, MTreeIndex, build_backbone, build_mtree
 from repro.models import ARModel, RecursiveLeastSquares, TaoNodeModel, fit_ar
 from repro.io import load_state, save_state
+from repro.obs import KernelProfiler, MetricsRegistry, TraceInspector, Tracer, profiled
 from repro.queries import (
     KnnQueryEngine,
     PathQueryEngine,
@@ -108,10 +109,12 @@ __all__ = [
     "EuclideanMetric",
     "EventKernel",
     "HierarchicalResult",
+    "KernelProfiler",
     "KnnQueryEngine",
     "LossyLinkModel",
     "MTreeIndex",
     "MaintenanceSession",
+    "MetricsRegistry",
     "ManhattanMetric",
     "MatrixMetric",
     "Message",
@@ -131,6 +134,8 @@ __all__ = [
     "TagEngine",
     "TaoNodeModel",
     "Topology",
+    "TraceInspector",
+    "Tracer",
     "UpdateOutcome",
     "WeightedEuclideanMetric",
     "bfs_flood_path",
@@ -147,6 +152,7 @@ __all__ = [
     "grid_topology",
     "load_state",
     "maximin_safe_path",
+    "profiled",
     "random_geometric_topology",
     "run_elink",
     "run_hierarchical",

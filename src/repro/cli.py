@@ -5,14 +5,19 @@ Usage (also available as ``python -m repro``):
     repro cluster --dataset tao --algorithm elink --delta 0.08 --map
     repro cluster --dataset synthetic --n 300 --algorithm spanning-forest \
                   --delta 0.05 --save state.json
+    repro cluster --dataset synthetic --n 100 --algorithm elink-explicit \
+                  --delta 0.1 --crash 0.05 --trace chaos.jsonl
     repro query --state state.json --node 17 --radius 0.06
     repro experiment fig10
+    repro trace chaos.jsonl --repairs
     repro info
 
 ``cluster`` runs any of the clustering algorithms on a generated dataset,
 prints a summary (optionally an ASCII cluster map) and can persist the
-result; ``query`` answers a range query over a saved state; ``experiment``
-regenerates a paper figure.
+result — for ELink it can record a structured trace (``--trace``) and
+inject fail-stop crashes (``--crash``); ``query`` answers a range query
+over a saved state; ``experiment`` regenerates a paper figure; ``trace``
+inspects a recorded JSONL trace (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -56,6 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--save", metavar="PATH", help="persist topology+features+clustering as JSON")
     cluster.add_argument("--map", action="store_true", help="print an ASCII cluster map")
     cluster.add_argument("--validate", action="store_true", help="check the delta-clustering definition")
+    cluster.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a JSONL protocol trace (ELink only; inspect with 'repro trace')",
+    )
+    cluster.add_argument(
+        "--crash",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="crash this node fraction mid-run (elink-explicit only; enables failure detection)",
+    )
 
     query = commands.add_parser("query", help="range query over a saved state")
     query.add_argument("--state", required=True, help="JSON file written by 'cluster --save'")
@@ -68,12 +85,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help="fig08..fig15, complexity, path_query, or 'all'")
     experiment.add_argument("--quick", action="store_true")
 
+    # Listed here for --help; 'trace' is dispatched before this parser runs
+    # because the inspector owns its own argument set (repro.obs.inspect).
+    commands.add_parser("trace", help="inspect a JSONL protocol trace", add_help=False)
+
     commands.add_parser("info", help="print version and system inventory")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Command-line entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        from repro.obs.inspect import main as trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "cluster":
         return _cmd_cluster(args)
@@ -117,16 +143,67 @@ def _run_algorithm(args: argparse.Namespace, topology, features, metric):
     from repro.core import ELinkConfig, run_elink
 
     name = args.algorithm
+    if not name.startswith("elink"):
+        if args.trace or args.crash:
+            raise SystemExit("--trace/--crash are only supported for the elink algorithms")
     if name.startswith("elink"):
         mode = {"elink": "implicit", "elink-explicit": "explicit", "elink-unordered": "unordered"}[name]
+        tracer = None
+        if args.trace:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+        config = ELinkConfig(delta=args.delta, signalling=mode)
+        network = None
+        injector = None
+        quadtree = None
+        if args.crash:
+            if mode != "explicit":
+                raise SystemExit(
+                    "--crash requires --algorithm elink-explicit "
+                    "(the failure-detection layer is explicit-mode)"
+                )
+            from repro.core.elink import compute_kappa
+            from repro.geometry import QuadTreeDecomposition
+            from repro.sim import EventKernel, FaultInjector, FaultPlan, Network
+
+            config = ELinkConfig(
+                delta=args.delta, signalling="explicit", failure_detection=True
+            )
+            kappa = compute_kappa(topology.num_nodes, config.gamma)
+            quadtree = QuadTreeDecomposition(topology)
+            network = Network(topology.graph, EventKernel(), tracer=tracer)
+            # The quadtree root drives the explicit-mode round cascade, so
+            # it is protected from the crash draw (the documented
+            # FaultPlan.random pattern for roots that anchor a protocol).
+            plan = FaultPlan.random(
+                sorted(topology.graph.nodes, key=repr),
+                seed=args.seed,
+                crash_fraction=args.crash,
+                crash_window=(0.05 * kappa, 0.75 * kappa),
+                protected=(quadtree.root,),
+            )
+            injector = FaultInjector(network, plan)
         result = run_elink(
-            topology, features, metric, ELinkConfig(delta=args.delta, signalling=mode)
+            topology, features, metric, config, quadtree=quadtree,
+            network=network, injector=injector, tracer=tracer,
         )
-        return result.clustering, {
+        extra = {
             "messages": result.total_messages,
             "protocol_time": round(result.protocol_time, 1),
             "switches": result.total_switches,
         }
+        if args.crash:
+            extra["survivors"] = network.graph.number_of_nodes()
+            extra["repair_messages"] = result.repair_messages
+            extra["drops"] = result.stats.total_drops
+            latencies = injector.repair_latencies()
+            if latencies:
+                extra["mean_repair_latency"] = round(sum(latencies) / len(latencies), 1)
+        if tracer is not None:
+            written = tracer.export_jsonl(args.trace)
+            extra["trace"] = f"{args.trace} ({written} events)"
+        return result.clustering, extra
     if name == "spanning-forest":
         result = run_spanning_forest(topology, features, metric, args.delta)
         return result.clustering, {"messages": result.total_messages}

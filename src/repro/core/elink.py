@@ -60,6 +60,17 @@ ELink survives fail-stop crashes injected by
   quadtree role; with no eligible replacement the child is *forgiven* so
   rounds still terminate.
 
+Observability (DESIGN.md §10, docs/OBSERVABILITY.md).  With a
+:class:`repro.obs.trace.Tracer` attached (``run_elink(..., tracer=...)``
+or a pre-traced :class:`Network`), every phase transition emits a typed
+event — ``elink.elect`` / ``elink.join`` / ``elink.switch`` /
+``elink.rejoin`` / ``elink.episode_done`` / ``elink.phase1`` /
+``elink.phase2`` / ``elink.round_done`` / ``elink.orphan`` /
+``elink.takeover`` / ``elink.assembled`` — alongside the network's
+``msg.*`` and the injector's ``fault.*``/``repair.*`` streams.  Hooks
+guard on a cached ``self._obs is not None``, so untraced runs execute the
+exact pre-observability instruction stream.
+
 Every retry loop is bounded and every give-up path force-completes, so the
 protocol terminates under any crash pattern; validity is restored at
 assembly time, which clusters the *surviving* subgraph and keeps each dead
@@ -74,7 +85,10 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Hashable, Literal, Mapping
+from typing import TYPE_CHECKING, Hashable, Literal, Mapping
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 import numpy as np
 
@@ -302,6 +316,8 @@ class ELinkNode(ProtocolNode):
             self.m = self.level
             self.parent = None
             self.clustered_at = self.now
+            if self._obs is not None:
+                self._obs.emit(self.now, "elink.elect", self.node_id, level=self.level)
             self._open_episode(parent=None, parent_episode=None)
         elif self.config.signalling == "explicit" and not self._phase1_sent:
             # Already clustered: expansion is trivially complete for this
@@ -445,6 +461,8 @@ class ELinkNode(ProtocolNode):
         self._orphan_repaired = True
         dead = episode.parent
         old_root = self.root_id
+        if self._obs is not None:
+            self._obs.emit(self.now, "elink.orphan", self.node_id, dead=dead, old_root=old_root)
         self.is_cluster_root = True
         self.root_id = self.node_id
         self.root_feature = self.feature
@@ -461,6 +479,14 @@ class ELinkNode(ProtocolNode):
         if episode.completed or not episode.timeout_passed or episode.children > 0:
             return
         episode.completed = True
+        if self._obs is not None:
+            self._obs.emit(
+                self.now,
+                "elink.episode_done",
+                self.node_id,
+                seq=episode.seq,
+                root=episode.parent is None,
+            )
         if episode.parent is not None:
             acked = self.send(episode.parent, "ack2", payload=episode.parent_episode)
             if not acked and self.config.failure_detection:
@@ -546,6 +572,24 @@ class ELinkNode(ProtocolNode):
         parent_episode: int,
         repair_of: Hashable | None = None,
     ) -> None:
+        if self._obs is not None:
+            # Three flavours of membership change share this entry point:
+            # first join, bounded switch, and post-crash repair rejoin.
+            if repair_of is not None:
+                kind = "elink.rejoin"
+            elif self.clustered:
+                kind = "elink.switch"
+            else:
+                kind = "elink.join"
+            self._obs.emit(
+                self.now,
+                kind,
+                self.node_id,
+                root=root_id,
+                via=via,
+                level=n,
+                old_root=self.root_id if self.clustered else None,
+            )
         self.clustered = True
         self.root_id = root_id
         self.root_feature = root_feature
@@ -615,6 +659,8 @@ class ELinkNode(ProtocolNode):
     def _send_phase1(self, round_level: int) -> None:
         if self.config.signalling != "explicit":
             return
+        if self._obs is not None:
+            self._obs.emit(self.now, "elink.phase1", self.node_id, round=round_level)
         self._phase1_sent = True
         if self.level == 0:
             # Quadtree root: its own round is complete the moment its
@@ -740,6 +786,8 @@ class ELinkNode(ProtocolNode):
         if dead in self._taken_over:
             return
         self._taken_over.add(dead)
+        if self._obs is not None:
+            self._obs.emit(self.now, "elink.takeover", self.node_id, dead=dead, round=round_level)
         dead_level = self._quad_level_of.get(dead, self.level)
         dead_children = [
             child
@@ -765,6 +813,14 @@ class ELinkNode(ProtocolNode):
 
     def _round_complete(self, round_level: int) -> None:
         """At the quadtree root: all of S_round_level finished expanding."""
+        if self._obs is not None:
+            self._obs.emit(
+                self.now,
+                "elink.round_done",
+                self.node_id,
+                round=round_level,
+                final=round_level >= self.max_level,
+            )
         if round_level >= self.max_level:
             if self.on_protocol_done is not None:
                 self.on_protocol_done(self.now)
@@ -782,6 +838,8 @@ class ELinkNode(ProtocolNode):
             if round_level in self._phase2_acted:
                 return
             self._phase2_acted.add(round_level)
+        if self._obs is not None:
+            self._obs.emit(self.now, "elink.phase2", self.node_id, round=round_level)
         if self.level == round_level:
             for child in self.quad_children:
                 self.route(child, "start")
@@ -846,6 +904,7 @@ def run_elink(
     quadtree: QuadTreeDecomposition | None = None,
     network: Network | None = None,
     injector: "FaultInjector | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> ELinkResult:
     """Run ELink over *topology* and return the resulting δ-clustering.
 
@@ -865,6 +924,14 @@ def run_elink(
     of their stranded members, so every emitted cluster is still a valid
     δ-cluster).  An empty plan schedules nothing: byte-identical to no
     injector at all.
+
+    With *tracer* (a :class:`repro.obs.trace.Tracer`), the run is traced
+    end to end — message traffic, timers, faults, ELink phase transitions
+    — and can be exported with ``tracer.export_jsonl`` for ``python -m
+    repro trace``.  The tracer is attached before any node registers, so
+    passing it here is equivalent to building the network with it.  No
+    tracer (the default) leaves the run byte-identical to pre-tracing
+    builds.
     """
     missing = set(topology.graph.nodes) - set(features)
     if missing:
@@ -875,6 +942,8 @@ def run_elink(
         network = injector.network if injector is not None else Network(topology.graph, EventKernel())
     elif injector is not None and injector.network is not network:
         raise ValueError("injector must be bound to the network running the protocol")
+    if tracer is not None:
+        network.tracer = tracer
     start_stats = network.stats.snapshot()
     if injector is not None:
         injector.arm()
@@ -1014,6 +1083,15 @@ def run_elink(
             parents=parents,
         )
     repaired = clustering.num_clusters - len(set(assignment.values()))
+    if network._tracer is not None:
+        network._tracer.emit(
+            network.kernel.now,
+            "elink.assembled",
+            None,
+            clusters=clustering.num_clusters,
+            survivors=len(assignment),
+            dead=len(network.dead_nodes),
+        )
 
     completion_time = max(
         (

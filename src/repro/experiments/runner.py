@@ -19,7 +19,17 @@ order.
 Every run also writes a ``BENCH_results.json`` artifact (``--bench-out``
 to relocate, ``--no-bench`` to skip) recording per-experiment wall time
 and the full result tables — message counts included — so the performance
-trajectory of the reproduction is tracked run over run.
+trajectory of the reproduction is tracked run over run.  Benchmark and
+profile artifacts live at the repository root and are gitignored
+(``BENCH_results.json``, ``PROFILE_kernel.txt``); CI uploads
+``BENCH_results.json`` as a build artifact instead of committing it.
+
+``--profile`` activates per-event-type wall-time accounting inside every
+event kernel the experiments build (see :mod:`repro.obs.profiler`) and
+writes a flame-style summary to ``--profile-out`` (default
+``PROFILE_kernel.txt``).  Profiling implies serial execution: worker
+processes cannot report into the parent's profiler, so ``--profile`` with
+``--jobs > 1`` is rejected rather than silently under-counting.
 """
 
 from __future__ import annotations
@@ -132,9 +142,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-bench", action="store_true", help="skip writing the benchmark artifact"
     )
+    parser.add_argument(
+        "--profile",
+        dest="kernel_profile",
+        action="store_true",
+        help="profile kernel event handling (serial only); writes a flame-style summary",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default="PROFILE_kernel.txt",
+        metavar="PATH",
+        help="where --profile writes its summary (default PROFILE_kernel.txt)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.kernel_profile and args.jobs > 1:
+        parser.error("--profile requires --jobs 1 (workers cannot report into the parent)")
     profile = "quick" if args.quick else "full"
     names = args.only if args.only else list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -143,12 +167,26 @@ def main(argv: list[str] | None = None) -> int:
 
     total_start = time.perf_counter()
     if args.jobs == 1:
+        from repro.obs.profiler import KernelProfiler, profiled
+
+        profiler = KernelProfiler() if args.kernel_profile else None
         results = []
         for name in names:
-            table, wall = _run_experiment(name, profile)
+            if profiler is None:
+                table, wall = _run_experiment(name, profile)
+            else:
+                with profiled(profiler):
+                    table, wall = _run_experiment(name, profile)
             table.print()
             print(f"[{name} finished in {wall:.1f}s]\n")
             results.append((name, table, wall))
+        if profiler is not None:
+            report = profiler.report()
+            with open(args.profile_out, "w", encoding="utf-8") as handle:
+                handle.write(report)
+                handle.write("\n")
+            print(report)
+            print(f"[wrote {args.profile_out}]")
     else:
         results = _run_parallel(names, profile, args.jobs)
         for name, table, wall in results:

@@ -1,0 +1,49 @@
+"""repro.obs — observability: tracing, metrics, profiling, inspection.
+
+A zero-cost-when-disabled observability layer over the simulator and
+protocol stacks (DESIGN.md §10, docs/OBSERVABILITY.md):
+
+- :mod:`repro.obs.trace` — :class:`Tracer`, a bounded ring of typed,
+  timestamped :class:`TraceEvent` records emitted by hooks in the kernel,
+  network, node runtime, fault injector and ELink; exports JSONL.
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges, explicit-bucket histograms and per-round time series.
+- :mod:`repro.obs.profiler` — :class:`KernelProfiler`, per-event-type
+  wall-time accounting inside the event kernel, activated ambiently with
+  :func:`profiled` (also behind the experiment runner's ``--profile``).
+- :mod:`repro.obs.inspect` — :class:`TraceInspector` and the
+  ``python -m repro trace`` CLI: per-node timelines, drop summaries,
+  crash→detection→repair reports.
+
+Every hook site in the instrumented layers guards on ``tracer is not
+None`` (one predicate), so runs without a tracer attached are
+byte-identical to pre-observability builds — enforced by
+``tests/test_obs.py`` and the fast-path micro-benchmarks.
+"""
+
+from repro.obs.inspect import TraceInspector
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.profiler import KernelProfiler, current_profiler, profiled, set_profiler
+from repro.obs.trace import TraceEvent, Tracer, iter_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "TimeSeries",
+    "TraceEvent",
+    "TraceInspector",
+    "Tracer",
+    "current_profiler",
+    "iter_jsonl",
+    "profiled",
+    "set_profiler",
+]

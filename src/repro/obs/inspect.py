@@ -1,0 +1,326 @@
+"""Trace inspector: reconstruct what a run did from its JSONL trace.
+
+Library API (:class:`TraceInspector`) and CLI (``python -m repro trace
+run.jsonl``) over the event stream exported by
+:meth:`repro.obs.trace.Tracer.export_jsonl`.  The inspector answers the
+questions a misbehaving run raises:
+
+- *what happened, overall?* — event counts by type, time span, node count
+  (:meth:`TraceInspector.summary_text`);
+- *what did node X see?* — a per-node timeline of every event the node is
+  the subject of **or referenced by** (as ``src``/``dst``/``dead``/...),
+  so a crash shows up in its neighbours' timelines too
+  (:meth:`TraceInspector.node_timeline`);
+- *why were messages dropped?* — drops grouped by structured reason
+  (:meth:`TraceInspector.drop_summary`);
+- *how fast did repair happen?* — per crashed node: crash time, first
+  detection (orphan re-rooting / sentinel takeover), first repair notice,
+  and the crash→repair latency (:meth:`TraceInspector.repair_report`).
+
+CLI usage::
+
+    python -m repro trace run.jsonl                  # summary
+    python -m repro trace run.jsonl --node 57        # node 57's timeline
+    python -m repro trace run.jsonl --type msg.drop  # filter by type
+    python -m repro trace run.jsonl --since 10 --until 40 --prefix elink.
+    python -m repro trace run.jsonl --drops --repairs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import Any, Iterable, Sequence
+
+from repro.obs.trace import TraceEvent, Tracer
+
+#: Payload keys that reference other nodes; used to pull an event into the
+#: timeline of every node it mentions, not just its subject.
+_NODE_REF_KEYS = ("src", "dst", "via", "dead", "by", "root", "owner")
+
+#: Event types marking the first protocol-level *detection* of a crash.
+_DETECTION_TYPES = {"elink.orphan", "elink.takeover"}
+
+
+class TraceInspector:
+    """Query layer over a loaded trace (a list of :class:`TraceEvent`)."""
+
+    def __init__(self, events: Sequence[TraceEvent]):
+        self.events = sorted(events, key=lambda e: e.time)
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "TraceInspector":
+        """Load the JSONL trace at *path*."""
+        return cls(Tracer.load_jsonl(path))
+
+    # -- basic shape ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(first, last) event timestamps; (0, 0) for an empty trace."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (self.events[0].time, self.events[-1].time)
+
+    def nodes(self) -> list[Any]:
+        """Every distinct subject node, sorted by repr."""
+        return sorted({e.node for e in self.events if e.node is not None}, key=repr)
+
+    def type_counts(self) -> Counter:
+        """Event counts by type."""
+        return Counter(e.type for e in self.events)
+
+    # -- filtering ------------------------------------------------------
+    def filtered(
+        self,
+        *,
+        types: Iterable[str] | None = None,
+        prefix: str | None = None,
+        node: Any = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> "TraceInspector":
+        """A new inspector over the matching subset of events.
+
+        ``node`` matches the subject *or* any node-reference payload key,
+        so a node's view includes messages sent to it and repairs of it.
+        """
+        type_set = set(types) if types is not None else None
+        out = []
+        for event in self.events:
+            if type_set is not None and event.type not in type_set:
+                continue
+            if prefix is not None and not event.type.startswith(prefix):
+                continue
+            if node is not None and not _involves(event, node):
+                continue
+            if since is not None and event.time < since:
+                continue
+            if until is not None and event.time > until:
+                continue
+            out.append(event)
+        return TraceInspector(out)
+
+    def node_timeline(self, node: Any) -> list[TraceEvent]:
+        """Every event involving *node* (subject or referenced), in time order."""
+        return self.filtered(node=node).events
+
+    # -- diagnosis ------------------------------------------------------
+    def drop_summary(self) -> Counter:
+        """Structured-drop counts keyed by reason (``msg.drop`` events)."""
+        return Counter(
+            e.data.get("reason", "?") for e in self.events if e.type == "msg.drop"
+        )
+
+    def repair_report(self) -> list[dict[str, Any]]:
+        """Per crashed node: crash / detection / repair times and latency.
+
+        One dict per ``node.crash`` event (recoveries open a new entry if
+        the node crashes again), with ``detect_time``/``repair_time`` of
+        ``None`` when the trace holds no matching event — a stall worth
+        investigating, which is the point of this report.
+        """
+        reports: list[dict[str, Any]] = []
+        open_by_node: dict[Any, dict[str, Any]] = {}
+        for event in self.events:
+            if event.type == "node.crash":
+                entry = {
+                    "node": event.node,
+                    "crash_time": event.time,
+                    "detect_time": None,
+                    "detect_kind": None,
+                    "repair_time": None,
+                    "repair_kind": None,
+                    "repair_by": None,
+                    "latency": None,
+                }
+                reports.append(entry)
+                open_by_node[event.node] = entry
+                continue
+            if event.type in _DETECTION_TYPES:
+                entry = open_by_node.get(event.data.get("dead"))
+                if entry is not None and entry["detect_time"] is None:
+                    entry["detect_time"] = event.time
+                    entry["detect_kind"] = event.type
+                continue
+            if event.type == "repair.note":
+                entry = open_by_node.get(event.data.get("dead"))
+                if entry is not None and entry["repair_time"] is None:
+                    entry["repair_time"] = event.time
+                    entry["repair_kind"] = event.data.get("kind")
+                    entry["repair_by"] = event.node
+                    entry["latency"] = event.time - entry["crash_time"]
+                    # A repair implies detection: the probe timeout that
+                    # initiates a failover is itself the detection, and it
+                    # can precede the elink.takeover event (which fires
+                    # when the takeover *order arrives*).  Events are
+                    # processed in time order, so first evidence wins.
+                    if entry["detect_time"] is None:
+                        entry["detect_time"] = event.time
+                        entry["detect_kind"] = "repair.note"
+        return reports
+
+    def repair_latencies(self) -> list[float]:
+        """Crash→first-repair latencies for every repaired crash."""
+        return [
+            r["latency"] for r in self.repair_report() if r["latency"] is not None
+        ]
+
+    # -- rendering ------------------------------------------------------
+    def summary_text(self) -> str:
+        """Human-readable run summary (the default CLI output)."""
+        first, last = self.span
+        lines = [
+            f"trace: {len(self.events)} events, "
+            f"t = [{first:.2f}, {last:.2f}], {len(self.nodes())} nodes",
+            "",
+            "events by type:",
+        ]
+        for type_name, count in sorted(
+            self.type_counts().items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"  {type_name:<22} {count:>9}")
+        drops = self.drop_summary()
+        if drops:
+            lines += ["", "drops by reason:"]
+            for reason, count in drops.most_common():
+                lines.append(f"  {reason:<22} {count:>9}")
+        repairs = self.repair_report()
+        if repairs:
+            latencies = self.repair_latencies()
+            repaired = len(latencies)
+            lines += [
+                "",
+                f"crashes: {len(repairs)}, repaired: {repaired}"
+                + (
+                    f", mean repair latency {sum(latencies) / repaired:.1f}"
+                    if repaired
+                    else ""
+                ),
+            ]
+        return "\n".join(lines)
+
+    def timeline_text(self, node: Any, limit: int | None = None) -> str:
+        """Render *node*'s timeline, one event per line."""
+        events = self.node_timeline(node)
+        shown = events if limit is None else events[:limit]
+        lines = [f"timeline of node {node!r}: {len(events)} events"]
+        for event in shown:
+            detail = " ".join(f"{k}={_short(v)}" for k, v in event.data.items())
+            subject = "" if event.node == node else f" @{event.node!r}"
+            lines.append(f"  t={event.time:9.2f}  {event.type:<20}{subject}  {detail}")
+        if limit is not None and len(events) > limit:
+            lines.append(f"  ... {len(events) - limit} more (raise --limit)")
+        return "\n".join(lines)
+
+    def repair_text(self) -> str:
+        """Render the crash→detection→repair table."""
+        reports = self.repair_report()
+        if not reports:
+            return "no crashes in trace"
+        lines = ["crash -> detection -> repair:"]
+        for r in reports:
+            detect = (
+                f"detected t={r['detect_time']:.2f} ({r['detect_kind']})"
+                if r["detect_time"] is not None
+                else "never detected"
+            )
+            repair = (
+                f"repaired t={r['repair_time']:.2f} ({r['repair_kind']} by "
+                f"{r['repair_by']!r}, latency {r['latency']:.2f})"
+                if r["repair_time"] is not None
+                else "never repaired"
+            )
+            lines.append(
+                f"  node {r['node']!r}: crash t={r['crash_time']:.2f} -> "
+                f"{detect} -> {repair}"
+            )
+        return "\n".join(lines)
+
+
+def _involves(event: TraceEvent, node: Any) -> bool:
+    """Whether *event* concerns *node* as subject or payload reference."""
+    if event.node == node:
+        return True
+    data = event.data
+    for key in _NODE_REF_KEYS:
+        if key in data and data[key] == node:
+            return True
+    return False
+
+
+def _short(value: Any, limit: int = 40) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _parse_node(raw: str) -> Any:
+    """CLI node ids: prefer int (the common case), fall back to string."""
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro trace`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Inspect a JSONL protocol trace (see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument("path", help="JSONL trace written by Tracer.export_jsonl")
+    parser.add_argument("--node", help="show this node's timeline")
+    parser.add_argument(
+        "--type", action="append", default=None, help="keep only this event type (repeatable)"
+    )
+    parser.add_argument("--prefix", help="keep only event types with this prefix (e.g. msg.)")
+    parser.add_argument("--since", type=float, default=None, help="keep events at/after this time")
+    parser.add_argument("--until", type=float, default=None, help="keep events at/before this time")
+    parser.add_argument("--limit", type=int, default=100, help="max timeline lines (default 100)")
+    parser.add_argument("--drops", action="store_true", help="print only the drop summary")
+    parser.add_argument("--repairs", action="store_true", help="print the crash/repair table")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro trace``."""
+    args = build_parser().parse_args(argv)
+    try:
+        inspector = TraceInspector.from_jsonl(args.path)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    inspector = inspector.filtered(
+        types=args.type, prefix=args.prefix, since=args.since, until=args.until
+    )
+    try:
+        printed = False
+        if args.drops:
+            drops = inspector.drop_summary()
+            if drops:
+                for reason, count in drops.most_common():
+                    print(f"{reason:<22} {count:>9}")
+            else:
+                print("no drops in trace")
+            printed = True
+        if args.repairs:
+            print(inspector.repair_text())
+            printed = True
+        if args.node is not None:
+            print(inspector.timeline_text(_parse_node(args.node), limit=args.limit))
+            printed = True
+        if not printed:
+            print(inspector.summary_text())
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; exit quietly like
+        # other line-oriented tools instead of dumping a traceback.
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""Metrics registry: counters, gauges, histograms, and time series.
+
+:class:`MetricsRegistry` is the quantitative half of the observability
+layer (the :mod:`~repro.obs.trace` ring buffer is the qualitative half).
+It subsumes the ad-hoc counting experiments used to do by hand — "messages
+this round", "live-node fraction", "clusters after repair" — behind four
+small instrument types:
+
+- :class:`Counter` — a monotonically increasing total (messages sent,
+  drops, repairs performed);
+- :class:`Gauge` — a last-value-wins level (live nodes, cluster count);
+- :class:`Histogram` — a distribution over **explicit** bucket edges
+  (repair latency, episode depth, route hop counts).  A value lands in
+  the first bucket whose upper edge is ``>= value`` (edges are
+  inclusive), or in the overflow bucket past the last edge;
+- :class:`TimeSeries` — ``(t, value)`` samples for per-round trajectories
+  (messages/round, live-node fraction, energy spent), the
+  representation every experiment table ultimately wants.
+
+Instruments are created on first use and type-checked on reuse, so two
+call sites asking for ``counter("msg.total")`` share one instrument and
+asking for the same name as a different type is an error, not silent
+aliasing.  :meth:`MetricsRegistry.snapshot` renders everything to plain
+JSON-ready dicts for artifacts and assertions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Any, Sequence
+
+#: Default histogram edges, in hop-delay units — sized for repair
+#: latencies and protocol phase durations on the paper-scale networks.
+DEFAULT_LATENCY_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount}")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins level."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by *amount* (may be negative)."""
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A distribution over explicit, inclusive upper bucket edges.
+
+    ``Histogram((1, 5, 10))`` has four buckets: ``<= 1``, ``(1, 5]``,
+    ``(5, 10]`` and ``> 10`` (overflow).  Exact-edge observations land in
+    the bucket they bound: ``observe(5.0)`` increments ``(1, 5]``.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError(f"bucket edges must be strictly increasing, got {edges}")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)  # last slot = overflow
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per bucket (last entry equals :attr:`count`)."""
+        out, running = [], 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "type": "histogram",
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+class TimeSeries:
+    """Ordered ``(t, value)`` samples, e.g. one per protocol round."""
+
+    __slots__ = ("points",)
+
+    def __init__(self) -> None:
+        self.points: list[tuple[float, float]] = []
+
+    def observe(self, t: float, value: float) -> None:
+        """Append a sample at time *t*."""
+        self.points.append((float(t), float(value)))
+
+    def values(self) -> list[float]:
+        """The sampled values, in observation order."""
+        return [v for _, v in self.points]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {"type": "series", "points": [list(p) for p in self.points]}
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram, "series": TimeSeries}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and type-checked on reuse."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram | TimeSeries] = {}
+
+    def _get(self, name: str, cls, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter *name*."""
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge *name*."""
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        """Get or create the histogram *name*.
+
+        *edges* applies on creation only; asking again with different
+        edges raises, because silently merging distributions recorded
+        against different buckets would corrupt both.
+        """
+        metric = self._get(name, Histogram, lambda: Histogram(edges))
+        if tuple(float(e) for e in edges) != metric.edges:
+            raise ValueError(
+                f"histogram {name!r} exists with edges {metric.edges}, "
+                f"requested {tuple(edges)}"
+            )
+        return metric
+
+    def series(self, name: str) -> TimeSeries:
+        """Get or create the time series *name*."""
+        return self._get(name, TimeSeries, TimeSeries)
+
+    # -- output ---------------------------------------------------------
+    def names(self) -> list[str]:
+        """Sorted names of all registered instruments."""
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All instruments rendered to JSON-ready dicts, keyed by name."""
+        return {name: metric.to_dict() for name, metric in sorted(self._metrics.items())}
+
+    def export_json(self, path: str) -> None:
+        """Write :meth:`snapshot` to *path* as pretty-printed JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} instruments)"

@@ -25,6 +25,14 @@ copy (``graph.copy()``).
 
 With an **empty plan nothing is scheduled and nothing is touched**, so a
 zero-fault run is byte-identical to a run without an injector.
+
+Observability: with a tracer attached to the network, the injector emits
+``fault.inject`` when a plan event fires (the *intent*; the network's
+mutators separately emit ``node.crash`` / ``link.down`` etc. — the
+*effect*) and ``repair.note`` when a protocol layer reports a repair.
+The ``python -m repro trace`` inspector joins ``node.crash`` to
+``repair.note`` events to reconstruct crash→detection→repair timelines;
+see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -102,6 +110,7 @@ class FaultPlan:
     # -- properties -----------------------------------------------------
     @property
     def empty(self) -> bool:
+        """True when the plan schedules nothing."""
         return not self.events
 
     def sorted_events(self) -> list[FaultEvent]:
@@ -206,6 +215,14 @@ class FaultInjector:
 
     def _apply(self, event: FaultEvent) -> None:
         network = self.network
+        if network._tracer is not None:
+            network._tracer.emit(
+                network.kernel.now,
+                "fault.inject",
+                event.target if event.action in (CRASH, RECOVER) else None,
+                action=event.action,
+                target=event.target,
+            )
         if event.action == CRASH:
             if event.target in network.dead_nodes:
                 return
@@ -241,6 +258,8 @@ class FaultInjector:
         self.repairs.append((now, kind, dead, by))
         if dead not in self.repair_times:
             self.repair_times[dead] = now
+        if self.network._tracer is not None:
+            self.network._tracer.emit(now, "repair.note", by, kind=kind, dead=dead)
 
     def repair_latencies(self) -> list[float]:
         """Crash→first-repair delay for every repaired crashed node."""

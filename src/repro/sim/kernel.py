@@ -17,15 +17,31 @@ FIFO ordering holds across both):
 - :meth:`EventKernel.post` — the allocation-slim fast path for
   fire-and-forget callbacks (the network layer's message deliveries, which
   are never cancelled).  Pushes a bare heap tuple and returns nothing.
+
+Observability (DESIGN.md §10): the kernel carries two optional observers,
+both ``None`` by default so the run loop pays one predicate per event and
+nothing else:
+
+- :attr:`EventKernel.tracer` — a :class:`repro.obs.trace.Tracer`; timer
+  events (cancellable :class:`Event` entries) emit ``timer.fire`` /
+  ``timer.skip``.  Message deliveries are traced at the network layer,
+  where src/dst/kind are known, so ``post`` entries are not re-traced
+  here.
+- :attr:`EventKernel.profiler` — a
+  :class:`repro.obs.profiler.KernelProfiler`, picked up ambiently from
+  :func:`repro.obs.profiler.current_profiler` at construction, charging
+  wall time per callback qualname.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable
 
 from repro._validation import require_non_negative
+from repro.obs.profiler import current_profiler
 
 
 class Event:
@@ -80,6 +96,12 @@ class EventKernel:
         self._heap: list[tuple[float, int, Event | None, Callable[..., Any], tuple]] = []
         self._sequence = itertools.count()
         self._events_executed = 0
+        #: Optional :class:`repro.obs.trace.Tracer` for timer events; the
+        #: network attaches its own tracer here so one trace covers both.
+        self.tracer = None
+        #: Optional per-event-type wall-time profiler, inherited from the
+        #: ambient :func:`repro.obs.profiler.profiled` context.
+        self.profiler = current_profiler()
 
     @property
     def events_executed(self) -> int:
@@ -130,6 +152,8 @@ class EventKernel:
         """
         heap = self._heap
         executed = 0
+        tracer = self.tracer
+        profiler = self.profiler
         while heap:
             entry = heap[0]
             if until is not None and entry[0] > until:
@@ -138,6 +162,8 @@ class EventKernel:
             event = entry[2]
             if event is not None and event.cancelled:
                 heapq.heappop(heap)
+                if tracer is not None:
+                    tracer.emit(entry[0], "timer.skip", callback=_callback_name(entry[3]))
                 continue
             if max_events is not None and executed >= max_events:
                 raise RuntimeError(
@@ -148,7 +174,14 @@ class EventKernel:
             self.now = entry[0]
             if event is not None:
                 event.fired = True
-            entry[3](*entry[4])
+                if tracer is not None:
+                    tracer.emit(self.now, "timer.fire", callback=_callback_name(entry[3]))
+            if profiler is None:
+                entry[3](*entry[4])
+            else:
+                started = perf_counter()
+                entry[3](*entry[4])
+                profiler.record(entry[3], perf_counter() - started)
             executed += 1
             self._events_executed += 1
         if until is not None and until > self.now:
@@ -157,18 +190,33 @@ class EventKernel:
 
     def step(self) -> bool:
         """Execute the single next pending event.  Returns False if none."""
+        tracer = self.tracer
         while self._heap:
             entry = heapq.heappop(self._heap)
             event = entry[2]
             if event is not None and event.cancelled:
+                if tracer is not None:
+                    tracer.emit(entry[0], "timer.skip", callback=_callback_name(entry[3]))
                 continue
             self.now = entry[0]
             if event is not None:
                 event.fired = True
-            entry[3](*entry[4])
+                if tracer is not None:
+                    tracer.emit(self.now, "timer.fire", callback=_callback_name(entry[3]))
+            if self.profiler is None:
+                entry[3](*entry[4])
+            else:
+                started = perf_counter()
+                entry[3](*entry[4])
+                self.profiler.record(entry[3], perf_counter() - started)
             self._events_executed += 1
             return True
         return False
 
     def __repr__(self) -> str:
         return f"EventKernel(now={self.now:.3f}, pending={self.pending})"
+
+
+def _callback_name(callback: Callable[..., Any]) -> str:
+    """Stable, JSON-friendly identity for a timer callback."""
+    return getattr(callback, "__qualname__", None) or repr(callback)

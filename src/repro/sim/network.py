@@ -59,7 +59,10 @@ Performance notes (see DESIGN.md, "Fast-path simulation engine"):
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Hashable, Iterable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Protocol, Sequence
+
+if TYPE_CHECKING:  # import-light: the tracer is only ever held, never built here
+    from repro.obs.trace import Tracer
 
 import networkx as nx
 import numpy as np
@@ -107,6 +110,16 @@ class Network:
         transmissions are retransmitted (ARQ), inflating cost and delay.
     path_cache_size:
         Bound on the shortest-path LRU (number of cached paths).
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`.  When attached, the
+        delivery layer emits ``msg.send`` / ``msg.route`` /
+        ``msg.deliver`` / ``msg.drop``, the mutators emit ``node.crash``
+        / ``node.recover`` / ``link.down`` / ``link.up``, and the same
+        tracer is installed on the kernel for timer events.  Attach it at
+        construction (or before nodes register): protocol runtimes cache
+        the reference, so attaching later leaves them untraced.  ``None``
+        (the default) costs one predicate per hook site — runs are
+        byte-identical with or without the hooks compiled in.
     """
 
     def __init__(
@@ -120,6 +133,7 @@ class Network:
         energy: "EnergyModel | None" = None,
         loss: "LossyLinkModel | None" = None,
         path_cache_size: int = DEFAULT_PATH_CACHE_SIZE,
+        tracer: "Tracer | None" = None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("communication graph must have at least one node")
@@ -156,6 +170,12 @@ class Network:
         #: Optional observer called as ``on_drop(message, reason)`` after a
         #: structured delivery failure is recorded.
         self.on_drop: Callable[[Message, str], None] | None = None
+        #: Optional tracer (DESIGN.md §10); every hook guards on it, so
+        #: ``None`` keeps the delivery paths byte-identical to untraced
+        #: builds.  Shared with the kernel so timers land in one stream.
+        self._tracer = tracer
+        if tracer is not None:
+            self.kernel.tracer = tracer
         self._path_cache_size = path_cache_size
         self._path_cache: OrderedDict[tuple[Hashable, Hashable], tuple[Hashable, ...]] = (
             OrderedDict()
@@ -171,6 +191,21 @@ class Network:
         self._adj_sets: dict[Hashable, frozenset] = {
             v: frozenset(nbrs) for v, nbrs in self._adj.items()
         }
+
+    @property
+    def tracer(self) -> "Tracer | None":
+        """The attached tracer, or None when tracing is disabled."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: "Tracer | None") -> None:
+        """Attach *tracer* to the network and its kernel.
+
+        Constructor-time attachment is preferred: protocol runtimes
+        cache the reference when they register (see class docstring).
+        """
+        self._tracer = tracer
+        self.kernel.tracer = tracer
 
     @property
     def max_hop_delay(self) -> float:
@@ -258,12 +293,28 @@ class Network:
             self.stats.record(message)
             if self.energy is not None:
                 self.energy.charge_hop(src, message.dst, message.values)
+            if self._tracer is not None:
+                self._trace_send(message)
             self.kernel.post(self.hop_delay, self._deliver, message)
             return True
         attempts = self._hop_cost(src, message.dst, message)
         delay = sum(self._sample_hop_delay() for _ in range(attempts))
+        if self._tracer is not None:
+            self._trace_send(message, attempts=attempts)
         self.kernel.post(delay, self._deliver, message)
         return True
+
+    def _trace_send(self, message: Message, attempts: int = 1) -> None:
+        """Emit ``msg.send`` (single-hop unicast scheduled)."""
+        self._tracer.emit(
+            self.kernel.now,
+            "msg.send",
+            message.src,
+            dst=message.dst,
+            kind=message.kind,
+            values=message.values,
+            attempts=attempts,
+        )
 
     def broadcast(self, src: Hashable, make_message) -> int:
         """Send ``make_message(neighbor)`` to every neighbour of *src*.
@@ -335,6 +386,16 @@ class Network:
     def _traverse(self, path: Sequence[Hashable], message: Message) -> int:
         """Charge and deliver along *path*; returns the hop count."""
         hops = len(path) - 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.kernel.now,
+                "msg.route",
+                message.src,
+                dst=message.dst,
+                kind=message.kind,
+                values=message.values,
+                hops=hops,
+            )
         if hops == 0:
             self.kernel.post(self.hop_delay, self._deliver, message)
             return 0
@@ -361,6 +422,10 @@ class Network:
             # message silently disappears at the dead radio.
             self._drop(message, "dead_destination")
             return
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.kernel.now, "msg.deliver", message.dst, src=message.src, kind=message.kind
+            )
         self.handler(message.dst).handle_message(message)
 
     # ------------------------------------------------------------------
@@ -377,6 +442,15 @@ class Network:
     def _drop(self, message: Message, reason: str) -> None:
         """Record a structured delivery failure and notify the observer."""
         self.stats.record_drop(message, reason)
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.kernel.now,
+                "msg.drop",
+                message.src,
+                dst=message.dst,
+                kind=message.kind,
+                reason=reason,
+            )
         if self.on_drop is not None:
             self.on_drop(message, reason)
 
@@ -404,6 +478,10 @@ class Network:
         self.dead_nodes.add(node_id)
         self._mutated = True
         self.invalidate_paths()
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.kernel.now, "node.crash", node_id, degree=len(neighbours)
+            )
         return neighbours
 
     def restore_node(self, node_id: Hashable, neighbours: Iterable[Hashable] = ()) -> None:
@@ -421,6 +499,10 @@ class Network:
         self.dead_nodes.discard(node_id)
         self._mutated = True
         self.invalidate_paths()
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.kernel.now, "node.recover", node_id, degree=self.graph.degree(node_id)
+            )
 
     def remove_edge(self, u: Hashable, v: Hashable) -> bool:
         """Sever the link *u*—*v* (churn).  Returns False if already down."""
@@ -430,6 +512,8 @@ class Network:
         self._removed_edges.add(frozenset((u, v)))
         self._mutated = True
         self.invalidate_paths()
+        if self._tracer is not None:
+            self._tracer.emit(self.kernel.now, "link.down", u, other=v)
         return True
 
     def restore_edge(self, u: Hashable, v: Hashable) -> bool:
@@ -444,6 +528,8 @@ class Network:
         self.graph.add_edge(u, v)
         self._mutated = True
         self.invalidate_paths()
+        if self._tracer is not None:
+            self._tracer.emit(self.kernel.now, "link.up", u, other=v)
         return True
 
     def schedule_owned(
@@ -471,6 +557,8 @@ class Network:
             if not event.fired and not event.cancelled:
                 event.cancel()
                 cancelled += 1
+        if cancelled and self._tracer is not None:
+            self._tracer.emit(self.kernel.now, "timer.cancel", owner, count=cancelled)
         return cancelled
 
     # ------------------------------------------------------------------

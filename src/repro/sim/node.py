@@ -4,6 +4,14 @@ A :class:`ProtocolNode` owns a node id, a reference to the network, and a
 feature value; it dispatches incoming messages to ``handle_<kind>`` methods
 and provides timer helpers.  ELink nodes, spanning-forest nodes and query
 processors all build on it.
+
+Observability: registration caches the network's tracer as ``self._obs``
+(None when tracing is disabled), so protocol hooks — here and in
+subclasses like :class:`~repro.core.elink.ELinkNode` — cost a single
+``is not None`` predicate.  :meth:`ProtocolNode.set_timer` emits
+``timer.set`` with the owning node's id, which is where timers gain the
+per-node attribution the kernel (which sees only callbacks) cannot give
+them.
 """
 
 from __future__ import annotations
@@ -30,6 +38,9 @@ class ProtocolNode:
         self.network = network
         self.feature = feature
         self._handlers: dict[str, Any] = {}
+        #: Cached tracer reference (attach the tracer to the network
+        #: *before* building nodes — see Network's class docstring).
+        self._obs = network._tracer
         network.register(node_id, self)
 
     # ------------------------------------------------------------------
@@ -62,6 +73,14 @@ class ProtocolNode:
         """Schedule *callback* on the shared kernel; returns a cancellable
         event.  The timer is registered under this node's id, so crashing
         the node (``Network.remove_node``) cancels it."""
+        if self._obs is not None:
+            self._obs.emit(
+                self.now,
+                "timer.set",
+                self.node_id,
+                callback=getattr(callback, "__qualname__", None) or repr(callback),
+                delay=delay,
+            )
         return self.network.schedule_owned(self.node_id, delay, callback, *args)
 
     @property

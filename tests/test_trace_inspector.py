@@ -1,0 +1,186 @@
+"""Tests for the trace inspector: timeline reconstruction, the
+crash -> detection -> repair report, CLI plumbing, and a smoke test over
+the checked-in chaos fixture (``tests/data/chaos_small.jsonl``)."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import ELinkConfig, run_elink
+from repro.features.metrics import EuclideanMetric
+from repro.geometry import QuadTreeDecomposition, grid_topology
+from repro.obs import TraceInspector, Tracer
+from repro.obs.inspect import main as trace_main
+from repro.obs.trace import TraceEvent
+from repro.sim import EventKernel, FaultInjector, FaultPlan, Network
+
+FIXTURE = pathlib.Path(__file__).parent / "data" / "chaos_small.jsonl"
+
+
+def _event(t, type, node=None, **data):
+    return TraceEvent(t, type, node, data)
+
+
+# ----------------------------------------------------------------------
+# Reconstruction on hand-built traces
+# ----------------------------------------------------------------------
+def test_filters_and_node_timeline():
+    events = [
+        _event(0.0, "msg.send", 1, dst=2, kind="expand"),
+        _event(1.0, "msg.deliver", 2, src=1, kind="expand"),
+        _event(2.0, "node.crash", 3, degree=2),
+        _event(3.0, "repair.note", 4, kind="orphan_root", dead=3),
+    ]
+    inspector = TraceInspector(events)
+    assert len(inspector) == 4
+    assert inspector.span == (0.0, 3.0)
+    assert inspector.nodes() == [1, 2, 3, 4]
+    # node filter matches payload references too: node 3 sees its repair.
+    timeline = inspector.node_timeline(3)
+    assert [e.type for e in timeline] == ["node.crash", "repair.note"]
+    # node 2 sees the send addressed to it.
+    assert [e.type for e in inspector.node_timeline(2)] == ["msg.send", "msg.deliver"]
+    sub = inspector.filtered(prefix="msg.", until=0.5)
+    assert [e.type for e in sub.events] == ["msg.send"]
+
+
+def test_repair_report_joins_crash_detection_repair():
+    events = [
+        _event(1.0, "node.crash", 7, degree=3),
+        _event(2.5, "elink.orphan", 9, dead=7, old_root=7),
+        _event(3.0, "repair.note", 9, kind="orphan_root", dead=7),
+        _event(4.0, "node.crash", 8, degree=2),  # never repaired
+    ]
+    (first, second) = TraceInspector(events).repair_report()
+    assert first["node"] == 7
+    assert first["detect_time"] == 2.5 and first["detect_kind"] == "elink.orphan"
+    assert first["repair_time"] == 3.0 and first["repair_by"] == 9
+    assert first["latency"] == pytest.approx(2.0)
+    assert second["node"] == 8
+    assert second["detect_time"] is None and second["repair_time"] is None
+    assert TraceInspector(events).repair_latencies() == [pytest.approx(2.0)]
+
+
+def test_repair_note_counts_as_detection():
+    # A probe-timeout failover can emit repair.note before the takeover
+    # event lands; the report must stay monotone (detect <= repair).
+    events = [
+        _event(1.0, "node.crash", 7),
+        _event(5.0, "repair.note", 4, kind="sentinel_failover", dead=7),
+        _event(6.0, "elink.takeover", 5, dead=7, round=2),
+    ]
+    (report,) = TraceInspector(events).repair_report()
+    assert report["detect_time"] == 5.0
+    assert report["detect_kind"] == "repair.note"
+    assert report["detect_time"] <= report["repair_time"]
+
+
+def test_drop_summary():
+    events = [
+        _event(0.0, "msg.drop", 1, reason="no_route"),
+        _event(1.0, "msg.drop", 2, reason="no_route"),
+        _event(2.0, "msg.drop", 3, reason="dead_destination"),
+    ]
+    drops = TraceInspector(events).drop_summary()
+    assert drops == {"no_route": 2, "dead_destination": 1}
+
+
+def test_render_helpers():
+    events = [
+        _event(0.0, "msg.send", 1, dst=2, kind="expand"),
+        _event(2.0, "node.crash", 3),
+    ]
+    inspector = TraceInspector(events)
+    assert "2 events" in inspector.summary_text()
+    text = inspector.timeline_text(1, limit=10)
+    assert "msg.send" in text and "dst=2" in text
+    assert "never repaired" in inspector.repair_text()
+    assert TraceInspector([]).repair_text() == "no crashes in trace"
+
+
+# ----------------------------------------------------------------------
+# Round trip: live run -> JSONL -> inspector
+# ----------------------------------------------------------------------
+def test_live_run_round_trip(tmp_path):
+    topology = grid_topology(5, 5)
+    features = {
+        node: np.array([(x + y) / 10.0])
+        for node, (x, y) in topology.positions.items()
+    }
+    config = ELinkConfig(delta=1.0, signalling="explicit", failure_detection=True)
+    quadtree = QuadTreeDecomposition(topology)
+    victim = next(
+        v for v in sorted(topology.graph.nodes)
+        if v != quadtree.root and quadtree.level_of[v] == quadtree.depth
+    )
+    tracer = Tracer()
+    network = Network(topology.graph.copy(), EventKernel(), tracer=tracer)
+    injector = FaultInjector(network, FaultPlan().crash(2.0, victim))
+    run_elink(
+        topology, features, EuclideanMetric(), config,
+        quadtree=quadtree, network=network, injector=injector, tracer=tracer,
+    )
+    path = tmp_path / "run.jsonl"
+    written = tracer.export_jsonl(str(path))
+    assert written == tracer.emitted  # nothing evicted at this scale
+
+    inspector = TraceInspector.from_jsonl(str(path))
+    assert len(inspector) == written
+    counts = inspector.type_counts()
+    # The reconstruction sees the whole lifecycle the live tracer saw.
+    assert counts == dict(tracer.type_counts())
+    assert counts["node.crash"] == 1
+    assert counts["msg.send"] > 0 and counts["elink.episode_done"] > 0
+    (report,) = inspector.repair_report()
+    assert report["node"] == victim
+    assert report["crash_time"] == pytest.approx(2.0)
+    # The victim's timeline starts before its crash and includes it.
+    timeline = inspector.node_timeline(victim)
+    assert any(e.type == "node.crash" for e in timeline)
+
+
+# ----------------------------------------------------------------------
+# CLI + checked-in fixture
+# ----------------------------------------------------------------------
+def test_fixture_smoke(capsys):
+    assert FIXTURE.is_file(), "regenerate with tools/make_chaos_trace.py"
+    assert trace_main([str(FIXTURE)]) == 0
+    out = capsys.readouterr().out
+    assert "events by type:" in out and "node.crash" in out
+    assert trace_main([str(FIXTURE), "--repairs"]) == 0
+    out = capsys.readouterr().out
+    assert "crash -> detection -> repair:" in out
+    assert "repaired t=" in out  # the fixture contains a full repair chain
+
+
+def test_fixture_has_full_repair_chain():
+    inspector = TraceInspector.from_jsonl(str(FIXTURE))
+    reports = inspector.repair_report()
+    assert len(reports) == 2
+    repaired = [r for r in reports if r["latency"] is not None]
+    assert repaired, "fixture must contain a crash -> detection -> repair chain"
+    assert all(
+        r["detect_time"] <= r["repair_time"] for r in repaired
+    )
+
+
+def test_cli_dispatches_trace_subcommand(capsys):
+    assert cli_main(["trace", str(FIXTURE), "--drops"]) == 0
+    out = capsys.readouterr().out
+    assert "dead_destination" in out or "no drops in trace" in out
+
+
+def test_cli_trace_missing_file(capsys):
+    assert trace_main(["/nonexistent/trace.jsonl"]) == 1
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_cli_node_timeline_and_filters(capsys):
+    assert trace_main([str(FIXTURE), "--node", "38", "--limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline of node 38" in out
+    assert trace_main([str(FIXTURE), "--type", "node.crash"]) == 0
+    out = capsys.readouterr().out
+    assert "node.crash" in out

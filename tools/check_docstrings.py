@@ -1,0 +1,104 @@
+"""Docstring-coverage check for the ``repro`` package (no third-party
+dependencies — the usual tool for this, ``interrogate``, is not in the
+environment, and the check is small enough to own).
+
+Counts module, public-class, and public-function/method docstrings via
+``ast`` (no imports of the checked code), prints per-file gaps, and fails
+when coverage drops below the threshold::
+
+    python tools/check_docstrings.py --fail-under 95 src/repro
+
+Rules:
+
+- private names (leading underscore) are exempt, except ``__init__``,
+  which is folded into its class (a documented class with an undocumented
+  ``__init__`` is fine; an undocumented class is a gap either way);
+- nested functions and lambdas are invisible to ``ast.walk`` at the
+  depth we scan: only module-level and class-level definitions count;
+- ``@overload``/``@property`` and other decorators are not special-cased —
+  a public def is a public def.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+
+def _public_defs(tree: ast.Module):
+    """Yield (qualname, node) for every definition that needs a docstring."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            if node.name.startswith("_"):
+                continue
+            yield node.name, node
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not child.name.startswith("_"):
+                        yield f"{node.name}.{child.name}", child
+
+
+def audit_file(path: pathlib.Path) -> tuple[int, int, list[str]]:
+    """Return (documented, total, missing qualnames) for one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    documented, total, missing = 0, 1, []
+    if ast.get_docstring(tree):
+        documented += 1
+    else:
+        missing.append("<module>")
+    for qualname, node in _public_defs(tree):
+        total += 1
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            missing.append(qualname)
+    return documented, total, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="*", default=["src/repro"],
+                        help="files or directories to audit (default src/repro)")
+    parser.add_argument("--fail-under", type=float, default=95.0, metavar="PCT",
+                        help="minimum coverage percentage (default 95)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="print only the total and failures")
+    args = parser.parse_args(argv)
+
+    files: list[pathlib.Path] = []
+    for root in args.roots:
+        path = pathlib.Path(root)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    if not files:
+        print("no Python files found", file=sys.stderr)
+        return 2
+
+    documented = total = 0
+    for path in files:
+        file_documented, file_total, missing = audit_file(path)
+        documented += file_documented
+        total += file_total
+        if missing and not args.quiet:
+            print(f"{path}: {file_documented}/{file_total}")
+            for name in missing:
+                print(f"  missing: {name}")
+    coverage = 100.0 * documented / total if total else 100.0
+    print(f"docstring coverage: {documented}/{total} = {coverage:.1f}% "
+          f"(threshold {args.fail_under:.1f}%)")
+    if coverage < args.fail_under:
+        print("FAIL: coverage below threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Check that intra-repository Markdown links resolve.
+
+Scans the given Markdown files (default: every tracked ``*.md`` outside
+hidden directories) for inline links and validates the local ones:
+
+- relative file links must point at an existing file or directory
+  (resolved against the linking file's directory);
+- ``#fragment`` links into Markdown targets must match a heading slug in
+  the target file (GitHub-style slugification: lowercase, spaces to
+  dashes, punctuation dropped);
+- external links (``http://``, ``https://``, ``mailto:``) are skipped —
+  CI must not depend on network reachability.
+
+Usage::
+
+    python tools/check_links.py            # whole repo
+    python tools/check_links.py docs/*.md  # specific files
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+#: Inline Markdown links: [text](target).  Reference-style links are not
+#: used in this repository.  Images (![alt](src)) match too, intentionally.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style heading slug (close enough for this repo's headings)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _heading_slugs(path: pathlib.Path) -> set[str]:
+    return {_slug(m.group(1)) for m in _HEADING.finditer(path.read_text(encoding="utf-8"))}
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
+    """Return a list of broken-link descriptions for one Markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        target, _, fragment = target.partition("#")
+        if not target:  # same-file #fragment
+            if fragment and _slug(fragment) not in _heading_slugs(path):
+                problems.append(f"{path}: broken anchor #{fragment}")
+            continue
+        resolved = (path.parent / target).resolve()
+        try:
+            resolved.relative_to(root)
+        except ValueError:
+            problems.append(f"{path}: link escapes the repository: {target}")
+            continue
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if _slug(fragment) not in _heading_slugs(resolved):
+                problems.append(f"{path}: broken anchor {target}#{fragment}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="Markdown files to check (default: all *.md in the repo)")
+    args = parser.parse_args(argv)
+    root = pathlib.Path.cwd().resolve()
+    if args.files:
+        files = [pathlib.Path(f) for f in args.files]
+    else:
+        files = [p for p in sorted(root.rglob("*.md"))
+                 if not any(part.startswith(".") for part in p.relative_to(root).parts)]
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} files: {len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
