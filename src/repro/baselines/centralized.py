@@ -161,7 +161,7 @@ class SpectralSolver:
             return True
         fmatrix = self._feature_matrix
         if fmatrix is None:
-            return check_delta_compact(nodes, self.features, self.metric, delta) is None
+            return not check_delta_compact(nodes, self.features, self.metric, delta, limit=1)
         rows = fmatrix[idx]
         if rows.shape[1] == 1:
             # 1-d features: the vectorized metrics are all monotone in
@@ -173,7 +173,7 @@ class SpectralSolver:
                 return float(distances[0, 1]) <= delta + _DELTA_TOLERANCE
         distances = self.metric.pairwise_matrix(rows)
         if distances is None:
-            return check_delta_compact(nodes, self.features, self.metric, delta) is None
+            return not check_delta_compact(nodes, self.features, self.metric, delta, limit=1)
         return not bool(np.any(distances > delta + _DELTA_TOLERANCE))
 
     def attempt(self, k: int, delta: float) -> Clustering | None:

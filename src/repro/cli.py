@@ -10,6 +10,7 @@ Usage (also available as ``python -m repro``):
     repro query --state state.json --node 17 --radius 0.06
     repro experiment fig10
     repro trace chaos.jsonl --repairs
+    repro verify --replay --n 49 --crash 0.08 --seed 11
     repro info
 
 ``cluster`` runs any of the clustering algorithms on a generated dataset,
@@ -17,7 +18,10 @@ prints a summary (optionally an ASCII cluster map) and can persist the
 result — for ELink it can record a structured trace (``--trace``) and
 inject fail-stop crashes (``--crash``); ``query`` answers a range query
 over a saved state; ``experiment`` regenerates a paper figure; ``trace``
-inspects a recorded JSONL trace (see docs/OBSERVABILITY.md).
+inspects a recorded JSONL trace (see docs/OBSERVABILITY.md); ``verify``
+runs the correctness oracle — invariant-monitored chaos runs and the
+``--replay`` determinism differ (see docs/ARCHITECTURE.md,
+"Verification").
 """
 
 from __future__ import annotations
@@ -85,9 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help="fig08..fig15, complexity, path_query, or 'all'")
     experiment.add_argument("--quick", action="store_true")
 
-    # Listed here for --help; 'trace' is dispatched before this parser runs
-    # because the inspector owns its own argument set (repro.obs.inspect).
+    # Listed here for --help; 'trace' and 'verify' are dispatched before
+    # this parser runs because each owns its own argument set
+    # (repro.obs.inspect / repro.verify.cli).
     commands.add_parser("trace", help="inspect a JSONL protocol trace", add_help=False)
+    commands.add_parser(
+        "verify", help="run the correctness oracle (invariants / --replay differ)", add_help=False
+    )
 
     commands.add_parser("info", help="print version and system inventory")
     return parser
@@ -100,6 +108,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.inspect import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "verify":
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "cluster":
         return _cmd_cluster(args)

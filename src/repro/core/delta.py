@@ -124,18 +124,36 @@ class ClusteringViolation:
     detail: str
 
 
+#: Default cap on violating pairs reported per cluster.  A badly broken
+#: cluster has O(n²) violating pairs; 16 is plenty for diagnostics.
+MAX_VIOLATING_PAIRS = 16
+
+
 def check_delta_compact(
     nodes: list[Hashable],
     features: Mapping[Hashable, np.ndarray],
     metric: Metric,
     delta: float,
-) -> tuple[Hashable, Hashable] | None:
-    """Return a violating pair if *nodes* are not pairwise within δ, else None."""
+    *,
+    limit: int | None = MAX_VIOLATING_PAIRS,
+) -> list[tuple[Hashable, Hashable, float]]:
+    """Return the violating pairs ``(a, b, distance)`` among *nodes*.
+
+    Empty when *nodes* are pairwise within δ.  At most *limit* pairs are
+    collected (``None`` for no cap); pass ``limit=1`` to use the check as
+    an early-exiting predicate.  Each entry carries the offending distance
+    so callers never recompute it.
+    """
+    violations: list[tuple[Hashable, Hashable, float]] = []
     for i, a in enumerate(nodes):
+        feature_a = features[a]
         for b in nodes[i + 1 :]:
-            if metric.distance(features[a], features[b]) > delta + 1e-9:
-                return (a, b)
-    return None
+            distance = metric.distance(feature_a, features[b])
+            if distance > delta + 1e-9:
+                violations.append((a, b, distance))
+                if limit is not None and len(violations) >= limit:
+                    return violations
+    return violations
 
 
 def validate_clustering(
@@ -150,9 +168,12 @@ def validate_clustering(
     """Check the full δ-clustering definition; returns all violations found.
 
     Checks: (1) every graph node is assigned exactly once, (2) each
-    cluster's induced subgraph is connected, (3) each cluster is pairwise
-    δ-compact, and optionally (4) cluster trees are spanning trees of the
-    member subgraph whose edges are communication-graph edges.
+    cluster's induced subgraph is connected (validated on the members
+    actually present in the graph; members absent from the graph are an
+    explicit violation), (3) each cluster is pairwise δ-compact (violating
+    pairs are reported up to :data:`MAX_VIOLATING_PAIRS` per cluster), and
+    optionally (4) cluster trees are spanning trees of the member subgraph
+    whose edges are communication-graph edges.
     """
     violations: list[ClusteringViolation] = []
 
@@ -168,21 +189,32 @@ def validate_clustering(
             violations.append(
                 ClusteringViolation("coverage", f"root {root!r} not a member of its cluster")
             )
-        sub = graph.subgraph(nodes)
-        if len(nodes) > 0 and not nx.is_connected(sub):
+        # Connectivity is validated on the members actually present in the
+        # graph: ``graph.subgraph`` silently drops unknown nodes, so a
+        # cluster containing them must not pass as "connected" by default —
+        # the dropped members get their own explicit violation.
+        present = [node for node in nodes if node in graph_nodes]
+        dropped = [node for node in nodes if node not in graph_nodes]
+        if dropped:
+            violations.append(
+                ClusteringViolation(
+                    "connectivity",
+                    f"cluster {root!r}: members {dropped[:MAX_VIOLATING_PAIRS]!r} "
+                    "are not in the graph (connectivity checked on the rest)",
+                )
+            )
+        if present and not nx.is_connected(graph.subgraph(present)):
             violations.append(
                 ClusteringViolation(
                     "connectivity", f"cluster {root!r} induces a disconnected subgraph"
                 )
             )
-        bad_pair = check_delta_compact(nodes, features, metric, delta)
-        if bad_pair is not None:
-            a, b = bad_pair
+        for a, b, distance in check_delta_compact(nodes, features, metric, delta):
             violations.append(
                 ClusteringViolation(
                     "compactness",
                     f"cluster {root!r}: d({a!r},{b!r}) = "
-                    f"{metric.distance(features[a], features[b]):.4f} > delta={delta}",
+                    f"{distance:.4f} > delta={delta}",
                 )
             )
         if check_trees:

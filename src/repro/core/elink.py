@@ -944,6 +944,16 @@ def run_elink(
         raise ValueError("injector must be bound to the network running the protocol")
     if tracer is not None:
         network.tracer = tracer
+    # The verification hook (lazy import: repro.verify imports run_elink for
+    # its replay harness).  With REPRO_VERIFY unset this is None and the run
+    # is byte-identical to an unverified build.
+    from repro.verify.runtime import runtime_verifier
+
+    verifier = runtime_verifier()
+    if verifier is not None:
+        # Attach before any node registers: nodes cache the network tracer
+        # at registration, so a verifier-installed tracer must exist first.
+        verifier.attach(network)
     start_stats = network.stats.snapshot()
     if injector is not None:
         injector.arm()
@@ -1075,10 +1085,11 @@ def run_elink(
         root_feature_map = {
             node_id: node.feature for node_id, node in nodes.items() if node.is_cluster_root
         }
+        feature_map = {node_id: node.feature for node_id, node in nodes.items()}
         clustering = clustering_from_assignment(
             topology.graph,
             assignment,
-            {node_id: node.feature for node_id, node in nodes.items()},
+            feature_map,
             root_features=root_feature_map,
             parents=parents,
         )
@@ -1091,6 +1102,17 @@ def run_elink(
             clusters=clustering.num_clusters,
             survivors=len(assignment),
             dead=len(network.dead_nodes),
+        )
+    if verifier is not None:
+        # Verify over the population the clustering was assembled on: the
+        # surviving subgraph after faults, the full topology otherwise.
+        verifier.finish(
+            network=network,
+            graph=network.graph if network.dead_nodes else topology.graph,
+            clustering=clustering,
+            features=feature_map,
+            metric=metric,
+            delta=config.delta,
         )
 
     completion_time = max(

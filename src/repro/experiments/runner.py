@@ -24,6 +24,16 @@ profile artifacts live at the repository root and are gitignored
 (``BENCH_results.json``, ``PROFILE_kernel.txt``); CI uploads
 ``BENCH_results.json`` as a build artifact instead of committing it.
 
+``--verify`` arms the ``repro.verify`` correctness oracle at level
+``full`` for every ELink run the experiments perform: online invariant
+monitors (timer ownership, ack conservation, repair causality, clock
+monotonicity) plus end-of-run stats-conservation and δ-legality checks.
+A violation raises and aborts the runner — verified tables are either
+correct or absent.  ``--quick`` without ``--verify`` defaults to the
+``cheap`` level (end-of-run checks only); setting ``REPRO_VERIFY``
+explicitly overrides both defaults, and the level is inherited by
+``--jobs`` worker processes through that variable.
+
 ``--profile`` activates per-event-type wall-time accounting inside every
 event kernel the experiments build (see :mod:`repro.obs.profiler`) and
 writes a flame-style summary to ``--profile-out`` (default
@@ -36,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -143,6 +154,12 @@ def main(argv: list[str] | None = None) -> int:
         "--no-bench", action="store_true", help="skip writing the benchmark artifact"
     )
     parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run every ELink run fully verified (online invariant monitors + "
+        "stats/clustering checks; violations abort the run)",
+    )
+    parser.add_argument(
         "--profile",
         dest="kernel_profile",
         action="store_true",
@@ -160,6 +177,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.kernel_profile and args.jobs > 1:
         parser.error("--profile requires --jobs 1 (workers cannot report into the parent)")
     profile = "quick" if args.quick else "full"
+    # Verification policy: --verify arms the full oracle; --quick defaults
+    # to the cheap end-of-run checks (they cost one clustering validation
+    # per run and never alter a table).  The level travels through the
+    # REPRO_VERIFY environment variable so --jobs workers inherit it; an
+    # explicit REPRO_VERIFY in the caller's environment wins over the
+    # --quick default.
+    from repro.verify.runtime import VERIFY_ENV, set_verification_level, verification_level
+
+    if args.verify:
+        set_verification_level("full")
+    elif args.quick and VERIFY_ENV not in os.environ:
+        set_verification_level("cheap")
+    verify_level = verification_level()
+    if verify_level != "off":
+        print(f"[verification: {verify_level} — invariant violations abort the run]")
     names = args.only if args.only else list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
@@ -200,6 +232,8 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"[wrote {args.bench_out}: {len(results)} experiments, {total_wall:.1f}s total]")
+    if verify_level != "off":
+        print(f"[verification: {verify_level} — all runs clean]")
     return 0
 
 

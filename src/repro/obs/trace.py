@@ -112,6 +112,7 @@ class Tracer:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
         self._emitted = 0
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
 
     # -- emission -------------------------------------------------------
     def emit(
@@ -119,7 +120,28 @@ class Tracer:
     ) -> None:
         """Record one event.  Keyword arguments become the event payload."""
         self._emitted += 1
-        self._buffer.append(TraceEvent(time, type, node, data))
+        event = TraceEvent(time, type, node, data)
+        self._buffer.append(event)
+        if self._subscribers:
+            for callback in self._subscribers:
+                callback(event)
+
+    # -- subscription ---------------------------------------------------
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke *callback* synchronously on every future :meth:`emit`.
+
+        This is how online checkers (the ``repro.verify`` invariant
+        monitors) see events as they happen instead of post-hoc from the
+        ring, whose oldest events may have been evicted.  Subscribers must
+        not mutate simulation state.  With no subscribers the emit path
+        pays one truthiness check.
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Remove a subscriber added by :meth:`subscribe` (no-op if absent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
 
     # -- introspection --------------------------------------------------
     def __len__(self) -> int:

@@ -247,7 +247,8 @@ class RangeQueryEngine:
             return 1.0
         alive_total = self._alive_total()
         if alive_total == 0:
-            return 1.0
+            # No survivors at all: nothing was (or could be) covered.
+            return 0.0
         uncovered = 0
         for root in lost_roots:
             orig = self._replaced_by.get(root, root)
@@ -275,7 +276,9 @@ class RangeQueryEngine:
             m for m in alive if self.metric.distance(q, self.features[m]) <= radius
         }
         alive_total = self._alive_total()
-        coverage = len(alive) / alive_total if alive_total else 1.0
+        # A fully-dead network covers nothing — 0.0, never 1.0 (a 0/0 here
+        # used to claim full coverage for an unanswerable query).
+        coverage = len(alive) / alive_total if alive_total else 0.0
         return RangeQueryResult(matches, stats.total_values, 0, 0, 1, coverage)
 
     # ------------------------------------------------------------------

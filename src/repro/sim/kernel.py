@@ -51,7 +51,7 @@ class Event:
     the kernel skips it when it reaches the head of the heap (lazy deletion).
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "owner")
 
     def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -59,6 +59,12 @@ class Event:
         self.args = args
         self.cancelled = False
         self.fired = False
+        #: Owning node id when scheduled via ``Network.schedule_owned``
+        #: (None otherwise).  Pure attribution: traced ``timer.fire`` /
+        #: ``timer.skip`` events carry it as their subject node, which is
+        #: what lets the ``repro.verify`` timer-ownership monitor tie a
+        #: fire back to a (possibly crashed) owner.
+        self.owner = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once.
@@ -163,7 +169,9 @@ class EventKernel:
             if event is not None and event.cancelled:
                 heapq.heappop(heap)
                 if tracer is not None:
-                    tracer.emit(entry[0], "timer.skip", callback=_callback_name(entry[3]))
+                    tracer.emit(
+                        entry[0], "timer.skip", event.owner, callback=_callback_name(entry[3])
+                    )
                 continue
             if max_events is not None and executed >= max_events:
                 raise RuntimeError(
@@ -175,7 +183,9 @@ class EventKernel:
             if event is not None:
                 event.fired = True
                 if tracer is not None:
-                    tracer.emit(self.now, "timer.fire", callback=_callback_name(entry[3]))
+                    tracer.emit(
+                        self.now, "timer.fire", event.owner, callback=_callback_name(entry[3])
+                    )
             if profiler is None:
                 entry[3](*entry[4])
             else:
@@ -196,13 +206,17 @@ class EventKernel:
             event = entry[2]
             if event is not None and event.cancelled:
                 if tracer is not None:
-                    tracer.emit(entry[0], "timer.skip", callback=_callback_name(entry[3]))
+                    tracer.emit(
+                        entry[0], "timer.skip", event.owner, callback=_callback_name(entry[3])
+                    )
                 continue
             self.now = entry[0]
             if event is not None:
                 event.fired = True
                 if tracer is not None:
-                    tracer.emit(self.now, "timer.fire", callback=_callback_name(entry[3]))
+                    tracer.emit(
+                        self.now, "timer.fire", event.owner, callback=_callback_name(entry[3])
+                    )
             if self.profiler is None:
                 entry[3](*entry[4])
             else:

@@ -538,9 +538,12 @@ class Network:
         """Schedule a cancellable timer registered to *owner*.
 
         Crashing *owner* via :meth:`remove_node` blanket-cancels all its
-        pending timers; fired timers are pruned lazily.
+        pending timers; fired timers are pruned lazily.  The event is
+        stamped with its owner, so traced ``timer.fire``/``timer.skip``
+        events are attributed to the owning node.
         """
         event = self.kernel.schedule(delay, callback, *args)
+        event.owner = owner
         bucket = self._owned_timers.setdefault(owner, [])
         bucket.append(event)
         if len(bucket) > 64:

@@ -1,0 +1,65 @@
+"""Property-based fuzzing: random chaos scenarios through the full oracle.
+
+Hypothesis generates :class:`~repro.verify.harness.ScenarioSpec` values —
+random grid sizes, δ thresholds, crash fractions, churn, and fault-plan
+seeds — and every generated scenario is executed at verification level
+``full``: online invariant monitors armed, stats conservation checked,
+and the surviving clustering validated as a legal δ-clustering.  A
+failing example *is* a reproducer: the spec is frozen and
+seed-deterministic, so pasting it into :func:`check_scenario` (or the
+``python -m repro verify`` CLI with the same parameters) replays the bug
+exactly.
+
+Hypothesis is imported lazily so this module (and the ``repro.verify``
+package) imports cleanly where the library is absent; the test suite
+skips the fuzz cases in that situation.  CI runs them with
+``derandomize=True`` so the sweep is a fixed, reproducible corpus rather
+than a flaky random walk.
+"""
+
+from __future__ import annotations
+
+from repro.verify.harness import ScenarioSpec, run_scenario
+
+
+def hypothesis_available() -> bool:
+    """True when the ``hypothesis`` library can be imported."""
+    try:
+        import hypothesis  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def scenario_specs():
+    """A Hypothesis strategy over small chaos :class:`ScenarioSpec` values.
+
+    Sizes are kept small (16–49 nodes) so each example is a sub-second
+    simulation; the interesting state space is fault interleavings, which
+    the seed and crash/churn parameters sweep, not raw node count.
+    """
+    import hypothesis.strategies as st
+
+    return st.builds(
+        ScenarioSpec,
+        side=st.integers(min_value=4, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**16),
+        delta=st.sampled_from([0.5, 1.0, 2.0]),
+        crash_fraction=st.sampled_from([0.0, 0.05, 0.1, 0.2]),
+        churn_events=st.integers(min_value=0, max_value=4),
+    )
+
+
+def check_scenario(spec: ScenarioSpec):
+    """Run *spec* fully verified and sanity-check the result shape.
+
+    Raises :class:`~repro.verify.invariants.InvariantError` (from inside
+    ``run_elink``) on any invariant violation, or :class:`AssertionError`
+    on a malformed result.  Returns the :class:`ELinkResult` so callers
+    can assert further properties.
+    """
+    result = run_scenario(spec, level="full")
+    assert result.num_clusters >= 1, "a non-empty survivor set must form clusters"
+    assert result.stats.total_values >= 0
+    assert result.completion_time >= 0.0
+    return result

@@ -1,0 +1,330 @@
+"""Runtime protocol-invariant monitors over the trace event stream.
+
+Each :class:`InvariantMonitor` subscribes (via :class:`MonitorSuite`) to a
+:class:`~repro.obs.trace.Tracer` and checks one protocol invariant
+*online*, as events are emitted — not post-hoc from the ring buffer,
+whose oldest events may already have been evicted on long runs.  The
+catalog (see docs/ARCHITECTURE.md, "Verification"):
+
+==========================  ================================================
+invariant                   statement
+==========================  ================================================
+``monotone-time``           event timestamps never decrease (the kernel
+                            clock is monotone)
+``timer-ownership``         no timer fires for a dead owner, and no dead
+                            node sets a timer — a crash blanket-cancels
+                            everything the node owned
+``ack-conservation``        every explicit-phase ``ack2`` matches an
+                            outstanding ``ack1`` at its receiver (the
+                            per-node episode child counters never
+                            underflow)
+``repair-causality``        a repair is never reported before the crash it
+                            repairs
+``stats-conservation``      :class:`~repro.sim.stats.MessageStats` running
+                            totals equal the sums of the per-kind and
+                            per-category counters (checked at run
+                            boundaries via :func:`check_stats_conservation`
+                            — it is a counter identity, not a trace
+                            property)
+``delta-legality``          the assembled clustering is a valid
+                            δ-clustering of the (surviving) graph, via
+                            :func:`repro.core.delta.validate_clustering`
+==========================  ================================================
+
+Monitors are *sound under degradation*: the failure-detection layer
+silently prunes/force-completes episode counters it can no longer trust,
+which the monitors track as an over-approximation — they may miss a
+violation in a heavily degraded run, but they never report a false one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.obs.trace import TraceEvent, Tracer
+from repro.sim.stats import MessageStats
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed violation of a protocol invariant."""
+
+    invariant: str
+    time: float
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] t={self.time:g}: {self.detail}"
+
+
+class InvariantError(AssertionError):
+    """Raised when a verified run observed one or more invariant violations."""
+
+    def __init__(self, violations: list[InvariantViolation]):
+        self.violations = list(violations)
+        lines = "\n".join(f"  {v}" for v in self.violations[:20])
+        more = len(self.violations) - 20
+        suffix = f"\n  ... and {more} more" if more > 0 else ""
+        super().__init__(
+            f"{len(self.violations)} invariant violation(s):\n{lines}{suffix}"
+        )
+
+
+class InvariantMonitor:
+    """Base class: observes trace events, accumulates violations."""
+
+    #: Invariant name used in violation records.
+    name = "invariant"
+
+    def __init__(self) -> None:
+        self.violations: list[InvariantViolation] = []
+
+    def observe(self, event: TraceEvent) -> None:
+        """Check one event (override)."""
+
+    def finish(self) -> list[InvariantViolation]:
+        """End-of-run checks (override if needed); returns the violations."""
+        return self.violations
+
+    def _violate(self, time: float, detail: str) -> None:
+        self.violations.append(InvariantViolation(self.name, time, detail))
+
+
+class MonotoneTimeMonitor(InvariantMonitor):
+    """Event timestamps must never decrease (kernel-clock monotonicity)."""
+
+    name = "monotone-time"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = float("-inf")
+
+    def observe(self, event: TraceEvent) -> None:
+        """Flag any event stamped earlier than its predecessor."""
+        if event.time < self._last:
+            self._violate(
+                event.time,
+                f"{event.type} at t={event.time:g} after an event at t={self._last:g}",
+            )
+        self._last = max(self._last, event.time)
+
+
+class TimerOwnershipMonitor(InvariantMonitor):
+    """No timer fires for a dead owner; no dead node sets a timer.
+
+    Crash cleanup (``Network.remove_node``) blanket-cancels every pending
+    timer the node owns, so an owned ``timer.fire`` attributed to a dead
+    node means cancellation was bypassed.  Fires with no owner attribution
+    (fire-and-forget deliveries, injector events) are exempt.
+    """
+
+    name = "timer-ownership"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._dead: set[Hashable] = set()
+
+    def observe(self, event: TraceEvent) -> None:
+        """Track crash/recover state; flag dead-owner timer activity."""
+        if event.type == "node.crash":
+            self._dead.add(event.node)
+        elif event.type == "node.recover":
+            self._dead.discard(event.node)
+        elif event.type == "timer.fire":
+            if event.node is not None and event.node in self._dead:
+                self._violate(
+                    event.time,
+                    f"timer {event.data.get('callback')!r} fired for dead owner "
+                    f"{event.node!r}",
+                )
+        elif event.type == "timer.set":
+            if event.node in self._dead:
+                self._violate(
+                    event.time,
+                    f"dead node {event.node!r} set timer "
+                    f"{event.data.get('callback')!r}",
+                )
+
+
+class AckConservationMonitor(InvariantMonitor):
+    """Every delivered ``ack2`` must match an outstanding ``ack1``.
+
+    Mirrors the per-node episode accounting in aggregate: an ``ack1``
+    delivery opens one outstanding child completion at its receiver, an
+    ``ack2`` delivery closes one.  Going negative means a child completed
+    a subtree nobody was waiting on — exactly the underflow
+    ``ELinkNode.handle_ack2`` raises on in fault-free runs.  Under failure
+    detection the node side may *forgive* children (prune/force-complete)
+    without a trace event, so the monitor's count is an upper bound on the
+    node's: it can miss forgiven underflows but never reports a false one.
+    """
+
+    name = "ack-conservation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._outstanding: dict[Hashable, int] = {}
+
+    def observe(self, event: TraceEvent) -> None:
+        """Track ack1/ack2 deliveries; flag an ack2 with nothing pending."""
+        if event.type != "msg.deliver":
+            return
+        kind = event.data.get("kind")
+        if kind == "ack1":
+            node = event.node
+            self._outstanding[node] = self._outstanding.get(node, 0) + 1
+        elif kind == "ack2":
+            node = event.node
+            pending = self._outstanding.get(node, 0)
+            if pending <= 0:
+                self._violate(
+                    event.time,
+                    f"ack2 delivered to {node!r} with no outstanding ack1",
+                )
+            else:
+                self._outstanding[node] = pending - 1
+
+
+class RepairCausalityMonitor(InvariantMonitor):
+    """A repair for a crashed node is never reported before its crash.
+
+    ``repair.note`` events may legitimately reference a non-crashed target
+    (e.g. a child pruned because the link to it went down), so only notes
+    whose target *did* crash are causally checked.
+    """
+
+    name = "repair-causality"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._crash_time: dict[Hashable, float] = {}
+
+    def observe(self, event: TraceEvent) -> None:
+        """Record crash times; flag repair notes that precede them."""
+        if event.type == "node.crash":
+            self._crash_time.setdefault(event.node, event.time)
+        elif event.type == "repair.note":
+            dead = event.data.get("dead")
+            crashed_at = self._crash_time.get(dead)
+            if crashed_at is not None and event.time < crashed_at:
+                self._violate(
+                    event.time,
+                    f"repair of {dead!r} reported at t={event.time:g} before "
+                    f"its crash at t={crashed_at:g}",
+                )
+
+
+def default_monitors() -> list[InvariantMonitor]:
+    """The standard monitor set checked by a fully verified run."""
+    return [
+        MonotoneTimeMonitor(),
+        TimerOwnershipMonitor(),
+        AckConservationMonitor(),
+        RepairCausalityMonitor(),
+    ]
+
+
+class MonitorSuite:
+    """Fans trace events out to a set of invariant monitors.
+
+    Online use::
+
+        suite = MonitorSuite()
+        suite.attach(tracer)          # before the run
+        ...                           # run the protocol
+        violations = suite.finish()   # after (also detaches)
+
+    Offline use (recorded JSONL traces)::
+
+        suite = MonitorSuite()
+        suite.feed(Tracer.load_jsonl(path))
+        violations = suite.finish()
+    """
+
+    def __init__(self, monitors: Iterable[InvariantMonitor] | None = None):
+        self.monitors = list(monitors) if monitors is not None else default_monitors()
+        self._tracer: Tracer | None = None
+        self.events_observed = 0
+
+    def observe(self, event: TraceEvent) -> None:
+        """Feed one event to every monitor."""
+        self.events_observed += 1
+        for monitor in self.monitors:
+            monitor.observe(event)
+
+    def feed(self, events: Iterable[TraceEvent]) -> None:
+        """Feed a recorded event stream (offline checking)."""
+        for event in events:
+            self.observe(event)
+
+    def attach(self, tracer: Tracer) -> None:
+        """Subscribe to *tracer* so every future emit is checked online."""
+        if self._tracer is not None:
+            raise RuntimeError("MonitorSuite is already attached to a tracer")
+        self._tracer = tracer
+        tracer.subscribe(self.observe)
+
+    def detach(self) -> None:
+        """Unsubscribe from the tracer attached by :meth:`attach`."""
+        if self._tracer is not None:
+            self._tracer.unsubscribe(self.observe)
+            self._tracer = None
+
+    @property
+    def violations(self) -> list[InvariantViolation]:
+        """All violations accumulated so far, in monitor order."""
+        return [v for monitor in self.monitors for v in monitor.violations]
+
+    def finish(self) -> list[InvariantViolation]:
+        """Run end-of-stream checks, detach, and return all violations."""
+        self.detach()
+        out: list[InvariantViolation] = []
+        for monitor in self.monitors:
+            out.extend(monitor.finish())
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"MonitorSuite(monitors={len(self.monitors)}, "
+            f"events={self.events_observed}, violations={len(self.violations)})"
+        )
+
+
+def check_stats_conservation(
+    stats: MessageStats, *, time: float = 0.0
+) -> list[InvariantViolation]:
+    """Check the :class:`MessageStats` counter identities.
+
+    The running totals (``total_packets`` / ``total_values``) are O(1)
+    caches maintained alongside the per-kind counters; this verifies they
+    equal the sums of both the per-kind and per-category breakdowns, and
+    that the two drop breakdowns agree — the accounting invariant every
+    experiment table rests on.
+    """
+    violations: list[InvariantViolation] = []
+
+    def check(label: str, cached: int, recomputed: int) -> None:
+        if cached != recomputed:
+            violations.append(
+                InvariantViolation(
+                    "stats-conservation",
+                    time,
+                    f"{label}: running total {cached} != counter sum {recomputed}",
+                )
+            )
+
+    check("total_packets vs by_kind", stats.total_packets, sum(stats.packets_by_kind.values()))
+    check(
+        "total_packets vs by_category",
+        stats.total_packets,
+        sum(stats.packets_by_category.values()),
+    )
+    check("total_values vs by_kind", stats.total_values, sum(stats.values_by_kind.values()))
+    check(
+        "total_values vs by_category",
+        stats.total_values,
+        sum(stats.values_by_category.values()),
+    )
+    check("drops by_kind vs by_reason", sum(stats.drops_by_kind.values()), stats.total_drops)
+    return violations

@@ -1,0 +1,188 @@
+"""Run-level verification policy: levels, env plumbing, and the run hook.
+
+``run_elink`` calls :func:`runtime_verifier` once per run.  What it gets
+back depends on the ambient verification level, read from the
+``REPRO_VERIFY`` environment variable (an env var — not a module global —
+so the level survives into ``ProcessPoolExecutor`` workers spawned by the
+parallel experiment runner):
+
+===========  ==============================================================
+level        meaning
+===========  ==============================================================
+``off``      default; :func:`runtime_verifier` returns None and the run is
+             byte-identical to an unverified build
+``cheap``    end-of-run checks only: :class:`MessageStats` counter
+             conservation and δ-legality of the assembled clustering.  No
+             tracer is forced, so traffic stays untraced and the fast
+             delivery paths are untouched.
+``full``     everything in ``cheap`` plus the online invariant monitors
+             (:mod:`repro.verify.invariants`) fed from a tracer — the
+             run's own if one is attached, otherwise a private one the
+             verifier installs for the duration.
+===========  ==============================================================
+
+Violations raise :class:`~repro.verify.invariants.InvariantError` from
+inside ``run_elink`` — a verified experiment fails loudly rather than
+producing a quietly-wrong table.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Hashable, Iterator, Mapping
+
+from repro.verify.invariants import (
+    InvariantError,
+    InvariantViolation,
+    MonitorSuite,
+    check_stats_conservation,
+)
+
+if TYPE_CHECKING:  # imports for annotations only; keeps runtime deps thin
+    import networkx as nx
+    import numpy as np
+
+    from repro.core.delta import Clustering
+    from repro.features import Metric
+    from repro.sim.network import Network
+
+#: Environment variable carrying the ambient verification level.
+VERIFY_ENV = "REPRO_VERIFY"
+
+#: Recognised verification levels, weakest first.
+LEVELS = ("off", "cheap", "full")
+
+
+def verification_level() -> str:
+    """The ambient verification level (``off`` when unset or unknown).
+
+    An unknown value degrades to ``off`` rather than raising: the env var
+    may leak from an unrelated tool's namespace, and verification must
+    never change an unverified run's behaviour.
+    """
+    level = os.environ.get(VERIFY_ENV, "off").strip().lower()
+    return level if level in LEVELS else "off"
+
+
+def set_verification_level(level: str) -> None:
+    """Set the ambient level for this process *and* its future children.
+
+    Writing the environment (rather than a module global) is what makes
+    ``runner --jobs N --verify`` work: spawned workers re-import this
+    module and read the inherited variable.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown verification level {level!r}; expected one of {LEVELS}")
+    os.environ[VERIFY_ENV] = level
+
+
+class RunVerifier:
+    """Per-run verification state driven by two hooks inside ``run_elink``.
+
+    Lifecycle::
+
+        verifier = runtime_verifier()          # None when level is "off"
+        if verifier is not None:
+            verifier.attach(network)           # before nodes register
+        ... run the protocol ...
+        if verifier is not None:
+            verifier.finish(network=..., graph=..., clustering=..., ...)
+
+    :meth:`finish` raises :class:`InvariantError` when any check failed.
+    """
+
+    def __init__(self, level: str):
+        self.level = level
+        self.suite: MonitorSuite | None = None
+        self._installed_tracer = False
+
+    def attach(self, network: "Network") -> None:
+        """Arm online monitoring on *network* (full level only).
+
+        At ``full`` level the monitors need an event stream; if the run
+        was not already traced, a private tracer is installed (and marked
+        for removal in :meth:`finish`) so verification does not change
+        what the caller sees on ``network.tracer`` afterwards.
+        """
+        if self.level != "full":
+            return
+        tracer = network.tracer
+        if tracer is None:
+            from repro.obs.trace import Tracer
+
+            # Capacity 1 keeps the private ring tiny: monitors consume
+            # events via subscription, not from the buffer.
+            tracer = Tracer(capacity=1)
+            network.tracer = tracer
+            self._installed_tracer = True
+        self.suite = MonitorSuite()
+        self.suite.attach(tracer)
+
+    def finish(
+        self,
+        *,
+        network: "Network",
+        graph: "nx.Graph",
+        clustering: "Clustering",
+        features: Mapping[Hashable, "np.ndarray"],
+        metric: "Metric",
+        delta: float,
+    ) -> None:
+        """Run end-of-run checks; raises :class:`InvariantError` on failure.
+
+        *graph* and *features* must describe the population the clustering
+        was assembled over (the surviving subgraph after faults, the full
+        topology otherwise).
+        """
+        violations: list[InvariantViolation] = []
+        if self.suite is not None:
+            violations.extend(self.suite.finish())
+            if self._installed_tracer:
+                network.tracer = None
+        violations.extend(
+            check_stats_conservation(network.stats, time=network.kernel.now)
+        )
+        from repro.core.delta import validate_clustering
+
+        now = network.kernel.now
+        for clustering_violation in validate_clustering(
+            graph, clustering, features, metric, delta
+        ):
+            violations.append(
+                InvariantViolation(
+                    "delta-legality",
+                    now,
+                    f"{clustering_violation.kind}: {clustering_violation.detail}",
+                )
+            )
+        if violations:
+            raise InvariantError(violations)
+
+
+@contextmanager
+def verification(level: str) -> Iterator[None]:
+    """Context manager: force a verification level, restoring on exit.
+
+    Used by the harness/CLI/fuzz paths so they verify regardless of the
+    caller's environment, without leaking the level into later runs.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown verification level {level!r}; expected one of {LEVELS}")
+    previous = os.environ.get(VERIFY_ENV)
+    os.environ[VERIFY_ENV] = level
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(VERIFY_ENV, None)
+        else:
+            os.environ[VERIFY_ENV] = previous
+
+
+def runtime_verifier() -> RunVerifier | None:
+    """Factory ``run_elink`` consults: a verifier, or None when ``off``."""
+    level = verification_level()
+    if level == "off":
+        return None
+    return RunVerifier(level)

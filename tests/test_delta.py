@@ -57,9 +57,23 @@ def test_tree_children():
 def test_check_delta_compact_finds_violating_pair():
     features = _line_features(4)
     metric = EuclideanMetric()
-    assert check_delta_compact([0, 1], features, metric, 1.5) is None
-    pair = check_delta_compact([0, 3], features, metric, 1.5)
-    assert pair == (0, 3)
+    assert check_delta_compact([0, 1], features, metric, 1.5) == []
+    violations = check_delta_compact([0, 3], features, metric, 1.5)
+    assert violations == [(0, 3, 3.0)]
+
+
+def test_check_delta_compact_reports_all_pairs_capped():
+    # 0..3 on a line, delta=0.5: every pair further than 0.5 apart violates.
+    features = _line_features(4)
+    metric = EuclideanMetric()
+    violations = check_delta_compact([0, 1, 2, 3], features, metric, 0.5)
+    pairs = {(a, b) for a, b, _ in violations}
+    assert pairs == {(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)}
+    for a, b, distance in violations:
+        assert distance == pytest.approx(abs(a - b))
+    # The cap bounds the report; limit=1 is the early-exit predicate form.
+    assert len(check_delta_compact([0, 1, 2, 3], features, metric, 0.5, limit=2)) == 2
+    assert len(check_delta_compact([0, 1, 2, 3], features, metric, 0.5, limit=1)) == 1
 
 
 def test_validate_clustering_passes_on_valid():
@@ -169,3 +183,54 @@ def test_clustering_from_assignment_falls_back_on_broken_parents():
     )
     violations = validate_clustering(graph, clustering, features, EuclideanMetric(), 10.0)
     assert violations == []
+
+
+def test_validate_reports_multiple_compactness_pairs():
+    """A badly broken cluster reports every violating pair, not just one."""
+    graph = nx.path_graph(4)
+    features = _line_features(4)  # distances 1..3 on a line
+    clustering = clustering_from_assignment(graph, {v: 0 for v in graph.nodes}, features)
+    violations = validate_clustering(graph, clustering, features, EuclideanMetric(), 0.5)
+    compact = [v for v in violations if v.kind == "compactness"]
+    # delta=0.5 makes all 6 pairs violate; each is its own violation record.
+    assert len(compact) == 6
+
+
+def test_validate_flags_members_missing_from_graph():
+    """Cluster members absent from the graph are an explicit violation.
+
+    Regression test: ``graph.subgraph(nodes)`` silently drops unknown
+    nodes, so a clustering mentioning ghosts used to validate as
+    connected; connectivity is now checked on the intersection and the
+    dropped members are reported.
+    """
+    graph = nx.path_graph(3)
+    features = _line_features(3, step=0.1)
+    features[99] = np.array([0.15])
+    clustering = Clustering(
+        assignment={0: 0, 1: 0, 2: 0, 99: 0},  # node 99 is not in the graph
+        parent={0: 0, 1: 0, 2: 1, 99: 0},
+        root_features={0: features[0]},
+    )
+    violations = validate_clustering(
+        graph, clustering, features, EuclideanMetric(), 10.0, check_trees=False
+    )
+    ghost = [v for v in violations if v.kind == "connectivity" and "99" in v.detail]
+    assert ghost, f"expected a ghost-member violation, got {violations}"
+
+
+def test_validate_all_members_missing_does_not_crash():
+    """A cluster made only of ghosts is a violation, not an exception."""
+    graph = nx.path_graph(3)
+    features = _line_features(3, step=0.1)
+    features[7] = np.array([0.0])
+    features[8] = np.array([0.05])
+    clustering = Clustering(
+        assignment={0: 0, 1: 0, 2: 0, 7: 7, 8: 7},
+        parent={0: 0, 1: 0, 2: 1, 7: 7, 8: 7},
+        root_features={0: features[0], 7: features[7]},
+    )
+    violations = validate_clustering(
+        graph, clustering, features, EuclideanMetric(), 10.0, check_trees=False
+    )
+    assert any(v.kind == "connectivity" for v in violations)

@@ -267,3 +267,26 @@ def test_replacement_root_restores_coverage(random_topology, random_features):
     out = engine.query(np.zeros(2), 1e6, initiator)
     assert out.matches == set(surviving.nodes)
     assert out.coverage == 1.0
+
+
+def test_zero_survivors_reports_zero_coverage():
+    """With every node dead, coverage is 0.0 — nothing was coverable.
+
+    Regression test: the all-dead edge case used to report coverage 1.0
+    because the "fraction of survivors covered" ratio degenerated to a
+    vacuous truth over an empty survivor set.
+    """
+    from repro.geometry.topology import grid_topology
+
+    topology = grid_topology(4, 4)
+    features = {n: np.array([float(x + y)]) for n, (x, y) in topology.positions.items()}
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=1.5)).clustering
+    mtree = build_mtree(clustering, features, metric)
+    backbone = build_backbone(topology.graph, clustering)
+    engine = RangeQueryEngine(
+        clustering, features, metric, mtree, backbone, dead=set(topology.graph.nodes)
+    )
+    out = engine.query(np.zeros(1), 1e6, next(iter(topology.graph.nodes)))
+    assert out.coverage == 0.0
+    assert out.matches == set()

@@ -21,7 +21,7 @@ def test_elink_on_2500_node_death_valley():
     assert sum(len(m) for m in clusters.values()) == 2500
     largest = sorted(clusters.values(), key=len, reverse=True)[:10]
     for members in largest:
-        assert check_delta_compact(members, dataset.features, metric, 200.0) is None
+        assert check_delta_compact(members, dataset.features, metric, 200.0) == []
 
 
 def test_explicit_mode_on_800_node_synthetic():
