@@ -45,6 +45,7 @@ import numpy as np
 from repro._validation import require_int_at_least, require_positive
 from repro.core.delta import Clustering, check_delta_compact, clustering_from_assignment
 from repro.features.metrics import Metric
+from repro.perf.cache import get_cache
 
 #: Slop used by every δ-compactness comparison (matches check_delta_compact).
 _DELTA_TOLERANCE = 1e-9
@@ -326,11 +327,25 @@ def _spectral_partition(
     if k == 1:
         return np.zeros(n, dtype=int)
     if "eigvecs" not in cache:
-        degree = affinity.sum(axis=1)
-        inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(np.maximum(degree, 1e-12)), 0.0)
-        lsym = inv_sqrt[:, None] * affinity * inv_sqrt[None, :]
-        eigvals, eigvecs = np.linalg.eigh(lsym)
-        cache["eigvecs"] = eigvecs[:, ::-1]
+
+        def compute() -> np.ndarray:
+            degree = affinity.sum(axis=1)
+            inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(np.maximum(degree, 1e-12)), 0.0)
+            lsym = inv_sqrt[:, None] * affinity * inv_sqrt[None, :]
+            eigvals, eigvecs = np.linalg.eigh(lsym)
+            return eigvecs[:, ::-1]
+
+        # The eigendecomposition is the O(N³) heart of the solver and a
+        # pure function of the affinity matrix; with REPRO_CACHE set it is
+        # content-addressed by that matrix (hashing N² floats costs
+        # milliseconds, eigh at N=2500 costs tens of seconds).
+        artifact = get_cache()
+        if artifact is None:
+            cache["eigvecs"] = compute()
+        else:
+            cache["eigvecs"] = artifact.get_or_compute(
+                "spectral_eigvecs", {"affinity": affinity}, compute, salt="1"
+            )
     eigvecs = cache["eigvecs"]
     # Cap the embedding dimension: for large k the extra eigenvectors add
     # little but make k-means quadratically slower (standard practice).

@@ -11,6 +11,7 @@ Usage (also available as ``python -m repro``):
     repro experiment fig10
     repro trace chaos.jsonl --repairs
     repro verify --replay --n 49 --crash 0.08 --seed 11
+    repro cache stats --dir .repro-cache
     repro info
 
 ``cluster`` runs any of the clustering algorithms on a generated dataset,
@@ -21,7 +22,9 @@ over a saved state; ``experiment`` regenerates a paper figure; ``trace``
 inspects a recorded JSONL trace (see docs/OBSERVABILITY.md); ``verify``
 runs the correctness oracle — invariant-monitored chaos runs and the
 ``--replay`` determinism differ (see docs/ARCHITECTURE.md,
-"Verification").
+"Verification"); ``cache`` inspects or clears the content-addressed
+artifact cache used by the experiment runner's ``--cache`` flag (see
+docs/ARCHITECTURE.md, "Performance layer").
 """
 
 from __future__ import annotations
@@ -89,12 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help="fig08..fig15, complexity, path_query, or 'all'")
     experiment.add_argument("--quick", action="store_true")
 
-    # Listed here for --help; 'trace' and 'verify' are dispatched before
-    # this parser runs because each owns its own argument set
-    # (repro.obs.inspect / repro.verify.cli).
+    # Listed here for --help; 'trace', 'verify' and 'cache' are dispatched
+    # before this parser runs because each owns its own argument set
+    # (repro.obs.inspect / repro.verify.cli / repro.perf.cli).
     commands.add_parser("trace", help="inspect a JSONL protocol trace", add_help=False)
     commands.add_parser(
         "verify", help="run the correctness oracle (invariants / --replay differ)", add_help=False
+    )
+    commands.add_parser(
+        "cache", help="inspect or clear the artifact cache (stats / clear)", add_help=False
     )
 
     commands.add_parser("info", help="print version and system inventory")
@@ -112,6 +118,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.perf.cli import main as cache_main
+
+        return cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "cluster":
         return _cmd_cluster(args)

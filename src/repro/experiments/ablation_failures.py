@@ -13,9 +13,16 @@ baseline, and the mean crash→repair latency.
 The crash window is placed inside the protocol's κ time horizon so deaths
 interleave with cluster formation — the hardest case, since episodes and
 quadtree rounds are mid-flight when their participants disappear.
+
+Decomposed into one **trial per sweep row** (each row already seeds its
+own ``FaultPlan`` with ``seed + index``); only the *overhead* column
+couples rows — it divides by the fault-free row's message total — so it
+is computed in ``combine_trials`` from the gathered raw counts.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 import numpy as np
 
@@ -39,8 +46,19 @@ def _smooth_features(topology: Topology) -> dict:
     }
 
 
-def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
-    """Run the experiment; returns the printable table (see module docstring)."""
+def trial_specs(profile: str, seed: int = 3) -> list[dict[str, Any]]:
+    """One picklable spec per sweep row (crash fraction / churn mix)."""
+    check_profile(profile)
+    sweep = [(f, 0) for f in CRASH_FRACTIONS]
+    sweep.append(CHURN_ROW if profile == "full" else (CHURN_ROW[0], 4))
+    return [
+        {"crash": crash, "churn": churn, "index": i, "seed": seed}
+        for i, (crash, churn) in enumerate(sweep)
+    ]
+
+
+def run_trial(spec: dict[str, Any], profile: str) -> dict[str, Any]:
+    """One faulted protocol run; returns the row with raw message counts."""
     check_profile(profile)
     side = 20 if profile == "full" else 10
     topology = grid_topology(side, side)
@@ -50,6 +68,44 @@ def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
     kappa = compute_kappa(topology.num_nodes, config.gamma)
     crash_window = (0.05 * kappa, 0.75 * kappa)
 
+    # The injector mutates the graph in place: each trial gets a copy.
+    graph = topology.graph.copy()
+    trial = Topology(graph, dict(topology.positions))
+    network = Network(graph, EventKernel())
+    plan = FaultPlan.random(
+        sorted(graph.nodes),
+        seed=spec["seed"] + spec["index"],
+        crash_fraction=spec["crash"],
+        crash_window=crash_window,
+        churn_edges=sorted(graph.edges),
+        churn_events=spec["churn"],
+        churn_window=crash_window,
+        churn_downtime=2.0,
+    )
+    injector = FaultInjector(network, plan)
+    result = run_elink(trial, features, metric, config, network=network, injector=injector)
+    violations = validate_clustering(
+        network.graph, result.clustering, features, metric, DELTA
+    )
+    latencies = injector.repair_latencies()
+    return {
+        "crash": spec["crash"],
+        "churn": spec["churn"],
+        "survivors": network.graph.number_of_nodes(),
+        "clusters": result.num_clusters,
+        "valid": not violations,
+        "messages": result.total_messages,
+        "repair_msgs": result.repair_messages,
+        "drops": result.stats.total_drops,
+        "repair_latency": float(np.mean(latencies)) if latencies else 0.0,
+    }
+
+
+def combine_trials(
+    results: list[dict[str, Any]], profile: str, seed: int = 3
+) -> ExperimentTable:
+    """Assemble rows (spec order), deriving overhead from the fault-free row."""
+    check_profile(profile)
     table = ExperimentTable(
         name="ablation_failures",
         title=f"Ablation: fail-stop crashes + churn, self-healing ELink (delta = {DELTA})",
@@ -66,45 +122,20 @@ def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
             "repair_latency",
         ),
     )
-    sweep = [(f, 0) for f in CRASH_FRACTIONS]
-    sweep.append(CHURN_ROW if profile == "full" else (CHURN_ROW[0], 4))
-    baseline_messages: int | None = None
-    for i, (crash_fraction, churn_events) in enumerate(sweep):
-        # The injector mutates the graph in place: each trial gets a copy.
-        graph = topology.graph.copy()
-        trial = Topology(graph, dict(topology.positions))
-        network = Network(graph, EventKernel())
-        plan = FaultPlan.random(
-            sorted(graph.nodes),
-            seed=seed + i,
-            crash_fraction=crash_fraction,
-            crash_window=crash_window,
-            churn_edges=sorted(graph.edges),
-            churn_events=churn_events,
-            churn_window=crash_window,
-            churn_downtime=2.0,
-        )
-        injector = FaultInjector(network, plan)
-        result = run_elink(trial, features, metric, config, network=network, injector=injector)
-        if baseline_messages is None:
-            baseline_messages = result.total_messages
-        violations = validate_clustering(
-            network.graph, result.clustering, features, metric, DELTA
-        )
-        latencies = injector.repair_latencies()
+    baseline_messages = results[0]["messages"]
+    for row in results:
         table.add_row(
-            crash=crash_fraction,
-            churn=churn_events,
-            survivors=network.graph.number_of_nodes(),
-            clusters=result.num_clusters,
-            valid=not violations,
-            messages=result.total_messages,
-            repair_msgs=result.repair_messages,
-            drops=result.stats.total_drops,
-            overhead=result.total_messages / baseline_messages,
-            repair_latency=float(np.mean(latencies)) if latencies else 0.0,
+            **{key: row[key] for key in table.columns if key != "overhead"},
+            overhead=row["messages"] / baseline_messages,
         )
     return table
+
+
+def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    specs = trial_specs(profile, seed)
+    results = [run_trial(spec, profile) for spec in specs]
+    return combine_trials(results, profile, seed)
 
 
 def main() -> None:

@@ -16,9 +16,19 @@ magnitude above coefficient shipping, which is another order of magnitude
 above the in-network schemes; explicit ELink tracks implicit ELink with a
 constant synchronization offset, and hierarchical carries its expensive
 initial clustering.
+
+Decomposed into one **trial per cost series**.  The feature trajectory
+the seasonal models emit is sink-independent, so it is materialized once
+per process (a ``(days, samples, nodes, dim)`` array in the memo) and
+each trial replays it into just its own sink — per-series cumulative
+counts are identical to the all-sinks-at-once loop by construction.
 """
 
 from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
 
 from repro.baselines import run_hierarchical, run_spanning_forest
 from repro.core import (
@@ -29,8 +39,10 @@ from repro.core import (
 )
 from repro.datasets import generate_tao_dataset
 from repro.experiments.common import ExperimentTable, check_profile
-from repro.experiments.streaming import features_of, reset_models, stream_tao
+from repro.experiments.streaming import features_of, reset_models
 from repro.index import build_backbone
+from repro.models.seasonal import TAO_FEATURE_DIM
+from repro.perf import process_memo
 
 DELTA = 0.2
 SLACK = 0.04
@@ -45,73 +57,139 @@ SERIES = (
 )
 
 
-def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
-    """Run the experiment; returns the printable table (see module docstring)."""
-    check_profile(profile)
-    if profile == "full":
-        dataset = generate_tao_dataset(seed=seed, samples_per_day=48)
-        days = None
-    else:
-        dataset = generate_tao_dataset(
-            seed=seed, samples_per_day=12, training_days=8, stream_days=4
+def _context(profile: str, seed: int) -> dict[str, Any]:
+    """Sink-independent stream state, shared per process (read-only).
+
+    Holds the dataset, the post-training features, the materialized
+    feature trajectory, every scheme's initial clustering and the
+    per-series initial message costs (section 8.2's accounting).
+    """
+
+    def build() -> dict[str, Any]:
+        if profile == "full":
+            dataset = generate_tao_dataset(seed=seed, samples_per_day=48)
+            days = None
+        else:
+            dataset = generate_tao_dataset(
+                seed=seed, samples_per_day=12, training_days=8, stream_days=4
+            )
+            days = 4
+        metric = dataset.metric()
+        graph = dataset.topology.graph
+        effective_delta = DELTA - 2 * SLACK
+
+        models = reset_models(dataset)
+        features = features_of(models)
+
+        implicit = run_elink(
+            dataset.topology, features, metric, ELinkConfig(delta=effective_delta)
         )
-        days = 4
-    metric = dataset.metric()
-    graph = dataset.topology.graph
-    effective_delta = DELTA - 2 * SLACK
+        explicit = run_elink(
+            dataset.topology,
+            features,
+            metric,
+            ELinkConfig(delta=effective_delta, signalling="explicit"),
+        )
+        hierarchical = run_hierarchical(graph, features, metric, effective_delta)
+        forest = run_spanning_forest(dataset.topology, features, metric, effective_delta)
+        backbone_cost = build_backbone(graph, implicit.clustering).build_messages
 
-    models = reset_models(dataset)
-    features = features_of(models)
+        # Materialize the model-feature trajectory once: it depends only
+        # on the measurement stream, never on any sink.
+        nodes = list(graph.nodes)
+        spd = dataset.samples_per_day
+        stream_len = len(dataset.stream[nodes[0]]) // spd
+        num_days = min(days if days is not None else stream_len, stream_len)
+        trajectory = np.empty((num_days, spd, len(nodes), TAO_FEATURE_DIM))
+        for day in range(num_days):
+            for t in range(spd):
+                idx = day * spd + t
+                for k, node in enumerate(nodes):
+                    value = float(dataset.stream[node][idx])
+                    trajectory[day, t, k] = models[node].observe(value)
 
-    # Initial clustering costs per scheme.
-    implicit = run_elink(
-        dataset.topology, features, metric, ELinkConfig(delta=effective_delta)
-    )
-    explicit = run_elink(
-        dataset.topology,
-        features,
-        metric,
-        ELinkConfig(delta=effective_delta, signalling="explicit"),
-    )
-    hierarchical = run_hierarchical(graph, features, metric, effective_delta)
-    forest = run_spanning_forest(dataset.topology, features, metric, effective_delta)
-    backbone_cost = build_backbone(graph, implicit.clustering).build_messages
+        return {
+            "graph": graph,
+            "metric": metric,
+            "features": features,
+            "nodes": nodes,
+            "num_days": num_days,
+            "trajectory": trajectory,
+            "initial": {
+                "centralized_raw": 0,
+                "centralized_model": 0,
+                "elink_implicit": implicit.total_messages + backbone_cost,
+                "elink_explicit": explicit.total_messages + backbone_cost,
+                "hierarchical": hierarchical.total_messages,
+                "spanning_forest": forest.total_messages,
+            },
+            "clusterings": {
+                "elink_implicit": implicit.clustering,
+                "elink_explicit": explicit.clustering,
+                "hierarchical": hierarchical.clustering,
+                "spanning_forest": forest.clustering,
+            },
+        }
 
-    initial = {
-        "centralized_raw": 0,
-        "centralized_model": 0,
-        "elink_implicit": implicit.total_messages + backbone_cost,
-        "elink_explicit": explicit.total_messages + backbone_cost,
-        "hierarchical": hierarchical.total_messages,
-        "spanning_forest": forest.total_messages,
-    }
+    return process_memo(("fig12", profile, seed), build)
 
-    sinks = {
-        "centralized_model": CentralizedUpdateBaseline(graph, features, 0, SLACK),
-        "elink_implicit": MaintenanceSession(
-            graph, implicit.clustering, features, metric, DELTA, SLACK
-        ),
-        "elink_explicit": MaintenanceSession(
-            graph, explicit.clustering, features, metric, DELTA, SLACK
-        ),
-        "hierarchical": MaintenanceSession(
-            graph, hierarchical.clustering, features, metric, DELTA, SLACK
-        ),
-        "spanning_forest": MaintenanceSession(
-            graph, forest.clustering, features, metric, DELTA, SLACK
-        ),
-    }
-    raw_baseline = CentralizedUpdateBaseline(graph, features, 0, SLACK, raw=True)
 
-    def raw_observer(node):
-        raw_baseline.observe_raw(node)
+def _replay(context: dict[str, Any], sink: Any) -> list[int]:
+    """Feed the materialized trajectory into one sink, in stream order."""
+    nodes = context["nodes"]
+    trajectory = context["trajectory"]
+    cumulative: list[int] = []
+    for day in range(context["num_days"]):
+        for t in range(trajectory.shape[1]):
+            for k, node in enumerate(nodes):
+                sink.update_feature(node, trajectory[day, t, k])
+        cumulative.append(int(sink.total_messages()))
+    return cumulative
 
-    per_day = stream_tao(dataset, models, sinks, days=days, raw_observer=raw_observer)
-    num_days = len(next(iter(per_day.values())))
-    # Raw shipping is uniform over the stream: recover its per-day cumulative.
-    per_day_raw = raw_baseline.total_messages() // num_days
-    raw_cumulative = [per_day_raw * (day + 1) for day in range(num_days)]
 
+def trial_specs(profile: str, seed: int = 7) -> list[dict[str, Any]]:
+    """One picklable spec per cost series (the parallel unit)."""
+    check_profile(profile)
+    return [{"series": series, "seed": seed} for series in SERIES]
+
+
+def run_trial(spec: dict[str, Any], profile: str) -> dict[str, Any]:
+    """One scheme's per-day cumulative column (initial cost included)."""
+    context = _context(profile, spec["seed"])
+    series = spec["series"]
+    graph = context["graph"]
+    features = context["features"]
+    num_days = context["num_days"]
+
+    if series == "centralized_raw":
+        baseline = CentralizedUpdateBaseline(graph, features, 0, SLACK, raw=True)
+        nodes = context["nodes"]
+        for day in range(num_days):
+            for _t in range(context["trajectory"].shape[1]):
+                for node in nodes:
+                    baseline.observe_raw(node)
+        # Raw shipping is uniform over the stream: per-day cumulative.
+        per_day_raw = baseline.total_messages() // num_days
+        values = [per_day_raw * (day + 1) for day in range(num_days)]
+    elif series == "centralized_model":
+        baseline = CentralizedUpdateBaseline(graph, features, 0, SLACK)
+        values = _replay(context, baseline)
+    else:
+        session = MaintenanceSession(
+            graph, context["clusterings"][series], features, context["metric"], DELTA, SLACK
+        )
+        initial = context["initial"][series]
+        values = [initial + total for total in _replay(context, session)]
+    return {"series": series, "values": values}
+
+
+def combine_trials(
+    results: list[dict[str, Any]], profile: str, seed: int = 7
+) -> ExperimentTable:
+    """Zip per-series columns (spec order) into the per-day table."""
+    check_profile(profile)
+    columns = {result["series"]: result["values"] for result in results}
+    num_days = len(columns["centralized_raw"])
     table = ExperimentTable(
         name="fig12",
         title=(
@@ -121,20 +199,19 @@ def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
         columns=("day",) + SERIES,
     )
     for day in range(num_days):
-        table.add_row(
-            day=day + 1,
-            centralized_raw=raw_cumulative[day],
-            centralized_model=per_day["centralized_model"][day],
-            elink_implicit=initial["elink_implicit"] + per_day["elink_implicit"][day],
-            elink_explicit=initial["elink_explicit"] + per_day["elink_explicit"][day],
-            hierarchical=initial["hierarchical"] + per_day["hierarchical"][day],
-            spanning_forest=initial["spanning_forest"] + per_day["spanning_forest"][day],
-        )
+        table.add_row(day=day + 1, **{series: columns[series][day] for series in SERIES})
     table.notes.append(
         f"delta = {DELTA}, slack = {SLACK}; distributed schemes include their initial "
         "clustering cost (ELink also the backbone build, per section 8.2)"
     )
     return table
+
+
+def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    specs = trial_specs(profile, seed)
+    results = [run_trial(spec, profile) for spec in specs]
+    return combine_trials(results, profile, seed)
 
 
 def main() -> None:

@@ -12,9 +12,16 @@ rounds; the reported cost is clustering + update handling:
 - ELink (both signalling modes) and the spanning forest confine everything
   locally — near-linear in N, with explicit ELink carrying the
   synchronization surcharge over implicit.
+
+Decomposed into one **trial per network size N** — the loop body was
+already independent per N, so each trial regenerates its own dataset
+(served by the artifact cache when enabled) and streams its own update
+rounds.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 from repro.baselines import (
     centralized_collection_cost,
@@ -38,12 +45,85 @@ SIZES_FULL = (100, 200, 400, 600, 800)
 SIZES_QUICK = (60, 120)
 
 
-def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
-    """Run the experiment; returns the printable table (see module docstring)."""
+def trial_specs(profile: str, seed: int = 3) -> list[dict[str, Any]]:
+    """One picklable spec per network size (the parallel unit)."""
     check_profile(profile)
     sizes = SIZES_FULL if profile == "full" else SIZES_QUICK
-    rounds = UPDATE_ROUNDS if profile == "full" else 30
+    return [{"n": n, "seed": seed} for n in sizes]
 
+
+def run_trial(spec: dict[str, Any], profile: str) -> dict[str, Any]:
+    """Cluster + maintain one network size; returns the table row."""
+    check_profile(profile)
+    rounds = UPDATE_ROUNDS if profile == "full" else 30
+    n, seed = spec["n"], spec["seed"]
+    effective_delta = DELTA - 2 * SLACK
+
+    dataset = generate_synthetic_dataset(n, seed=seed)
+    metric = dataset.metric()
+    graph = dataset.topology.graph
+    base_station = dataset.nodes[0]
+
+    implicit = run_elink(
+        dataset.topology, dataset.features, metric, ELinkConfig(delta=effective_delta)
+    )
+    explicit = run_elink(
+        dataset.topology,
+        dataset.features,
+        metric,
+        ELinkConfig(delta=effective_delta, signalling="explicit"),
+    )
+    hierarchical = run_hierarchical(graph, dataset.features, metric, effective_delta)
+    forest = run_spanning_forest(dataset.topology, dataset.features, metric, effective_delta)
+
+    sinks = {
+        "elink_implicit": MaintenanceSession(
+            graph, implicit.clustering, dataset.features, metric, DELTA, SLACK
+        ),
+        "elink_explicit": MaintenanceSession(
+            graph, explicit.clustering, dataset.features, metric, DELTA, SLACK
+        ),
+        "hierarchical": MaintenanceSession(
+            graph, hierarchical.clustering, dataset.features, metric, DELTA, SLACK
+        ),
+        "spanning_forest": MaintenanceSession(
+            graph, forest.clustering, dataset.features, metric, DELTA, SLACK
+        ),
+    }
+    centralized = CentralizedUpdateBaseline(graph, dataset.features, base_station, SLACK)
+    # Centralized also pays the initial coefficient collection.
+    centralized_total = centralized_collection_cost(graph, base_station, 1)
+
+    trajectory = stream_measurements(dataset, rounds, seed=seed + 1)
+    nodes = dataset.nodes
+    for step in range(trajectory.shape[0]):
+        for k, node in enumerate(nodes):
+            feature = trajectory[step, k : k + 1]
+            for sink in sinks.values():
+                sink.update_feature(node, feature)
+            centralized.update_feature(node, feature)
+    centralized_total += centralized.total_messages()
+
+    return {
+        "n": n,
+        "elink_implicit": implicit.total_messages
+        + sinks["elink_implicit"].total_messages(),
+        "elink_explicit": explicit.total_messages
+        + sinks["elink_explicit"].total_messages(),
+        "centralized": centralized_total,
+        "hierarchical": hierarchical.total_messages
+        + sinks["hierarchical"].total_messages(),
+        "spanning_forest": forest.total_messages
+        + sinks["spanning_forest"].total_messages(),
+    }
+
+
+def combine_trials(
+    results: list[dict[str, Any]], profile: str, seed: int = 3
+) -> ExperimentTable:
+    """Assemble per-size rows (spec order) into the printable table."""
+    check_profile(profile)
+    rounds = UPDATE_ROUNDS if profile == "full" else 30
     table = ExperimentTable(
         name="fig13",
         title="Fig 13: scalability with network size on synthetic data (total messages)",
@@ -56,71 +136,19 @@ def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
             "spanning_forest",
         ),
     )
-    effective_delta = DELTA - 2 * SLACK
-    for n in sizes:
-        dataset = generate_synthetic_dataset(n, seed=seed)
-        metric = dataset.metric()
-        graph = dataset.topology.graph
-        base_station = dataset.nodes[0]
-
-        implicit = run_elink(
-            dataset.topology, dataset.features, metric, ELinkConfig(delta=effective_delta)
-        )
-        explicit = run_elink(
-            dataset.topology,
-            dataset.features,
-            metric,
-            ELinkConfig(delta=effective_delta, signalling="explicit"),
-        )
-        hierarchical = run_hierarchical(graph, dataset.features, metric, effective_delta)
-        forest = run_spanning_forest(dataset.topology, dataset.features, metric, effective_delta)
-
-        sinks = {
-            "elink_implicit": MaintenanceSession(
-                graph, implicit.clustering, dataset.features, metric, DELTA, SLACK
-            ),
-            "elink_explicit": MaintenanceSession(
-                graph, explicit.clustering, dataset.features, metric, DELTA, SLACK
-            ),
-            "hierarchical": MaintenanceSession(
-                graph, hierarchical.clustering, dataset.features, metric, DELTA, SLACK
-            ),
-            "spanning_forest": MaintenanceSession(
-                graph, forest.clustering, dataset.features, metric, DELTA, SLACK
-            ),
-        }
-        centralized = CentralizedUpdateBaseline(
-            graph, dataset.features, base_station, SLACK
-        )
-        # Centralized also pays the initial coefficient collection.
-        centralized_total = centralized_collection_cost(graph, base_station, 1)
-
-        trajectory = stream_measurements(dataset, rounds, seed=seed + 1)
-        nodes = dataset.nodes
-        for step in range(trajectory.shape[0]):
-            for k, node in enumerate(nodes):
-                feature = trajectory[step, k : k + 1]
-                for sink in sinks.values():
-                    sink.update_feature(node, feature)
-                centralized.update_feature(node, feature)
-        centralized_total += centralized.total_messages()
-
-        table.add_row(
-            n=n,
-            elink_implicit=implicit.total_messages
-            + sinks["elink_implicit"].total_messages(),
-            elink_explicit=explicit.total_messages
-            + sinks["elink_explicit"].total_messages(),
-            centralized=centralized_total,
-            hierarchical=hierarchical.total_messages
-            + sinks["hierarchical"].total_messages(),
-            spanning_forest=forest.total_messages
-            + sinks["spanning_forest"].total_messages(),
-        )
+    for row in results:
+        table.add_row(**row)
     table.notes.append(
         f"delta = {DELTA}, slack = {SLACK}, {rounds} streamed update rounds per size"
     )
     return table
+
+
+def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    specs = trial_specs(profile, seed)
+    results = [run_trial(spec, profile) for spec in specs]
+    return combine_trials(results, profile, seed)
 
 
 def main() -> None:

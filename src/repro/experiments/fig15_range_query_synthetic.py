@@ -4,9 +4,15 @@ Same setup as Fig 14 on the synthetic dataset with radius fractions
 (0.3δ, 0.7δ).  Because neighbouring nodes are uncorrelated, clusters are
 small and δ-compactness pruning buys little — the point of the figure:
 communication benefits shrink without spatial correlation.
+
+Decomposed like Fig 14: one **trial per radius fraction**, with the
+monolithic sweep's sequential query draws pre-drawn into the specs and
+the dataset/engines shared through the per-process memo.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 import numpy as np
 
@@ -15,48 +21,104 @@ from repro.core import ELinkConfig, run_elink
 from repro.datasets import generate_synthetic_dataset
 from repro.experiments.common import ExperimentTable, check_profile
 from repro.experiments.fig14_range_query_tao import _engine
+from repro.perf import process_memo
 from repro.queries import TagEngine, brute_force_range
 
 DELTA = 0.08
 RADIUS_FRACTIONS = (0.3, 0.4, 0.5, 0.6, 0.7)
 
 
-def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
-    """Run the experiment; returns the printable table (see module docstring)."""
+def _profile_params(profile: str) -> tuple[int, int]:
+    """(network size, queries per fraction) for *profile*."""
     check_profile(profile)
-    if profile == "full":
-        n, num_queries = 400, 100
-    else:
-        n, num_queries = 100, 20
-    dataset = generate_synthetic_dataset(n, seed=seed)
-    metric = dataset.metric()
-    topology = dataset.topology
-    graph = topology.graph
-    nodes = dataset.nodes
-    features = dataset.features
+    return (400, 100) if profile == "full" else (100, 20)
 
-    engines = {
-        "elink": _engine(
-            graph,
-            run_elink(topology, features, metric, ELinkConfig(delta=DELTA)).clustering,
-            features,
-            metric,
-        ),
-        "hierarchical": _engine(
-            graph,
-            run_hierarchical(graph, features, metric, DELTA).clustering,
-            features,
-            metric,
-        ),
-        "spanning_forest": _engine(
-            graph,
-            run_spanning_forest(topology, features, metric, DELTA).clustering,
-            features,
-            metric,
-        ),
+
+def _context(profile: str, seed: int) -> dict[str, Any]:
+    """(nodes, features, metric, engines, tag, n), shared per process."""
+
+    def build() -> dict[str, Any]:
+        n, _ = _profile_params(profile)
+        dataset = generate_synthetic_dataset(n, seed=seed)
+        metric = dataset.metric()
+        topology = dataset.topology
+        graph = topology.graph
+        features = dataset.features
+        engines = {
+            "elink": _engine(
+                graph,
+                run_elink(topology, features, metric, ELinkConfig(delta=DELTA)).clustering,
+                features,
+                metric,
+            ),
+            "hierarchical": _engine(
+                graph,
+                run_hierarchical(graph, features, metric, DELTA).clustering,
+                features,
+                metric,
+            ),
+            "spanning_forest": _engine(
+                graph,
+                run_spanning_forest(topology, features, metric, DELTA).clustering,
+                features,
+                metric,
+            ),
+        }
+        return {
+            "nodes": dataset.nodes,
+            "features": features,
+            "metric": metric,
+            "engines": engines,
+            "tag": TagEngine(graph, features, metric),
+            "n": n,
+        }
+
+    return process_memo(("fig15", profile, seed), build)
+
+
+def trial_specs(profile: str, seed: int = 3) -> list[dict[str, Any]]:
+    """One picklable spec per radius fraction, query draws embedded."""
+    n, num_queries = _profile_params(profile)
+    rng = np.random.default_rng(seed)
+    specs = []
+    for fraction in RADIUS_FRACTIONS:
+        pairs = [
+            (int(rng.integers(n)), int(rng.integers(n))) for _ in range(num_queries)
+        ]
+        specs.append({"fraction": fraction, "pairs": pairs, "seed": seed})
+    return specs
+
+
+def run_trial(spec: dict[str, Any], profile: str) -> dict[str, Any]:
+    """All engines over one radius fraction; returns the table row."""
+    context = _context(profile, spec["seed"])
+    nodes = context["nodes"]
+    features = context["features"]
+    metric = context["metric"]
+    engines = context["engines"]
+    radius = spec["fraction"] * DELTA
+    costs: dict[str, list[int]] = {name: [] for name in engines}
+    for initiator_index, query_index in spec["pairs"]:
+        initiator = nodes[initiator_index]
+        q = features[nodes[query_index]]
+        truth = brute_force_range(features, metric, q, radius)
+        for name, engine in engines.items():
+            out = engine.query(q, radius, initiator)
+            if out.matches != truth:
+                raise AssertionError(f"{name} returned a wrong answer set")
+            costs[name].append(out.messages)
+    return {
+        "radius_over_delta": spec["fraction"],
+        "tag": context["tag"].per_query_cost(),
+        **{name: float(np.mean(values)) for name, values in costs.items()},
     }
-    tag = TagEngine(graph, features, metric)
 
+
+def combine_trials(
+    results: list[dict[str, Any]], profile: str, seed: int = 3
+) -> ExperimentTable:
+    """Assemble per-fraction rows (spec order) into the printable table."""
+    n, _ = _profile_params(profile)
     table = ExperimentTable(
         name="fig15",
         title=(
@@ -65,29 +127,20 @@ def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
         ),
         columns=("radius_over_delta", "elink", "hierarchical", "spanning_forest", "tag"),
     )
-    rng = np.random.default_rng(seed)
-    for fraction in RADIUS_FRACTIONS:
-        radius = fraction * DELTA
-        costs = {name: [] for name in engines}
-        for _ in range(num_queries):
-            initiator = nodes[int(rng.integers(len(nodes)))]
-            q = features[nodes[int(rng.integers(len(nodes)))]]
-            truth = brute_force_range(features, metric, q, radius)
-            for name, engine in engines.items():
-                out = engine.query(q, radius, initiator)
-                if out.matches != truth:
-                    raise AssertionError(f"{name} returned a wrong answer set")
-                costs[name].append(out.messages)
-        table.add_row(
-            radius_over_delta=fraction,
-            tag=tag.per_query_cost(),
-            **{name: float(np.mean(values)) for name, values in costs.items()},
-        )
+    for row in results:
+        table.add_row(**row)
     table.notes.append(
         "uncorrelated features leave many small clusters, so pruning gains shrink "
         "relative to Fig 14 — the figure's point"
     )
     return table
+
+
+def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
+    """Run the experiment; returns the printable table (see module docstring)."""
+    specs = trial_specs(profile, seed)
+    results = [run_trial(spec, profile) for spec in specs]
+    return combine_trials(results, profile, seed)
 
 
 def main() -> None:

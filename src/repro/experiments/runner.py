@@ -7,14 +7,25 @@ Usage::
     python -m repro.experiments.runner --only fig08 fig10
     python -m repro.experiments.runner --jobs 4       # process-pool parallel
 
-Parallelism (``--jobs N``) fans independent work units out over a process
-pool.  The unit is one experiment, except for experiments that declare a
-finer decomposition (``trial_specs`` / ``run_trial`` / ``combine_trials``
-module attributes, e.g. one trial per random topology for Fig 9).  Every
+Parallelism (``--jobs N``) fans independent work units out over a
+persistent warm process pool (workers pre-import :mod:`repro` and open
+the artifact cache once, at fork time — see :mod:`repro.perf.pool`).
+The unit is one experiment, except for experiments that declare a finer
+decomposition (``trial_specs`` / ``run_trial`` / ``combine_trials``
+module attributes — one trial per topology, per N, per γ, …).  Every
 unit carries its own fixed seeds and runs in its own interpreter, so
 parallel and serial runs produce **identical tables** — only wall-clock
 changes.  Output is printed in submission order regardless of completion
-order.
+order, and the runner reports both the summed serial wall and the real
+elapsed wall (their ratio is the suite speedup).
+
+``--cache [DIR]`` enables the content-addressed artifact cache
+(:mod:`repro.perf.cache`) for dataset generation, feature fitting, and
+spectral eigendecompositions by exporting ``REPRO_CACHE`` — worker
+processes inherit it.  DIR defaults to ``.repro-cache``.  Cached values
+are keyed by function, canonicalized parameters, and a code-version
+salt, so warm hits are byte-identical to cold computes and tables do not
+change; the cache is off unless requested.
 
 Every run also writes a ``BENCH_results.json`` artifact (``--bench-out``
 to relocate, ``--no-bench`` to skip) recording per-experiment wall time
@@ -49,7 +60,6 @@ import json
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
 from repro.experiments import ALL_EXPERIMENTS
@@ -74,12 +84,15 @@ def _run_trial(name: str, spec: Any, profile: str) -> tuple[Any, float]:
 
 def _run_parallel(
     names: list[str], profile: str, jobs: int
-) -> list[tuple[str, ExperimentTable, float]]:
-    """Run *names* over a process pool; results come back in *names* order.
+) -> list[tuple[str, ExperimentTable, float, float]]:
+    """Run *names* over a warm process pool; results come back in *names* order.
 
-    Wall time reported per experiment is the summed wall time of its work
-    units (its serial cost), not the elapsed pool time.
+    Per experiment two times are reported: ``wall`` is the summed wall time
+    of its work units (its serial-equivalent cost) and ``elapsed`` the real
+    time from pool start until its last unit completed.
     """
+    from repro.perf.pool import create_pool
+
     tasks = []  # (name, kind, future-producing args)
     for name in names:
         module = ALL_EXPERIMENTS[name]
@@ -89,42 +102,69 @@ def _run_parallel(
         else:
             tasks.append((name, "whole", 0, None))
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+    done_at: dict[int, float] = {}
+    with create_pool(min(jobs, len(tasks))) as pool:
+        pool_start = time.perf_counter()
         futures = []
-        for name, kind, _index, spec in tasks:
+        for position, (name, kind, _index, spec) in enumerate(tasks):
             if kind == "whole":
-                futures.append(pool.submit(_run_experiment, name, profile))
+                future = pool.submit(_run_experiment, name, profile)
             else:
-                futures.append(pool.submit(_run_trial, name, spec, profile))
+                future = pool.submit(_run_trial, name, spec, profile)
+            future.add_done_callback(
+                lambda _f, position=position: done_at.setdefault(
+                    position, time.perf_counter()
+                )
+            )
+            futures.append(future)
         outputs = [future.result() for future in futures]
 
-    results: list[tuple[str, ExperimentTable, float]] = []
+    results: list[tuple[str, ExperimentTable, float, float]] = []
     for name in names:
         module = ALL_EXPERIMENTS[name]
         indices = [i for i, task in enumerate(tasks) if task[0] == name]
         wall = sum(outputs[i][1] for i in indices)
+        elapsed = max(done_at[i] for i in indices) - pool_start
         if supports_trials(module):
             trial_results = [outputs[i][0] for i in indices]
             table = module.combine_trials(trial_results, profile)
         else:
             (table,) = [outputs[i][0] for i in indices]
-        results.append((name, table, wall))
+        results.append((name, table, wall, elapsed))
     return results
 
 
 def _bench_payload(
-    results: list[tuple[str, ExperimentTable, float]], profile: str, jobs: int, total_wall: float
+    results: list[tuple[str, ExperimentTable, float, float]],
+    profile: str,
+    jobs: int,
+    total_wall: float,
 ) -> dict:
-    return {
-        "schema": 1,
+    from repro.perf import get_cache
+    from repro.perf.meta import environment_metadata
+
+    serial_wall = sum(wall for _name, _table, wall, _elapsed in results)
+    payload = {
+        "schema": 2,
         "profile": profile,
         "jobs": jobs,
+        "environment": environment_metadata(),
         "total_wall_s": round(total_wall, 3),
+        "serial_wall_s": round(serial_wall, 3),
+        "speedup": round(serial_wall / total_wall, 3) if total_wall > 0 else None,
         "experiments": {
-            name: {"wall_s": round(wall, 3), **table.to_json_dict()}
-            for name, table, wall in results
+            name: {
+                "wall_s": round(wall, 3),
+                "elapsed_s": round(elapsed, 3),
+                **table.to_json_dict(),
+            }
+            for name, table, wall, elapsed in results
         },
     }
+    cache = get_cache()
+    if cache is not None:
+        payload["cache"] = cache.stats()
+    return payload
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -154,6 +194,16 @@ def main(argv: list[str] | None = None) -> int:
         "--no-bench", action="store_true", help="skip writing the benchmark artifact"
     )
     parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        metavar="DIR",
+        help="enable the content-addressed artifact cache in DIR (default "
+        ".repro-cache when the flag is given without a value); exported as "
+        "REPRO_CACHE so --jobs workers inherit it",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="run every ELink run fully verified (online invariant monitors + "
@@ -177,6 +227,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.kernel_profile and args.jobs > 1:
         parser.error("--profile requires --jobs 1 (workers cannot report into the parent)")
     profile = "quick" if args.quick else "full"
+    # Cache policy: --cache exports REPRO_CACHE so both this process and any
+    # --jobs workers (which inherit the environment at fork) resolve the
+    # same directory; an explicit REPRO_CACHE in the caller's environment
+    # also works without the flag.
+    from repro.perf.cache import CACHE_ENV
+
+    if args.cache is not None:
+        os.environ[CACHE_ENV] = args.cache
+    if os.environ.get(CACHE_ENV):
+        print(f"[artifact cache: {os.environ[CACHE_ENV]}]")
     # Verification policy: --verify arms the full oracle; --quick defaults
     # to the cheap end-of-run checks (they cost one clustering validation
     # per run and never alter a table).  The level travels through the
@@ -211,7 +271,7 @@ def main(argv: list[str] | None = None) -> int:
                     table, wall = _run_experiment(name, profile)
             table.print()
             print(f"[{name} finished in {wall:.1f}s]\n")
-            results.append((name, table, wall))
+            results.append((name, table, wall, wall))
         if profiler is not None:
             report = profiler.report()
             with open(args.profile_out, "w", encoding="utf-8") as handle:
@@ -221,10 +281,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[wrote {args.profile_out}]")
     else:
         results = _run_parallel(names, profile, args.jobs)
-        for name, table, wall in results:
+        for name, table, wall, _elapsed in results:
             table.print()
             print(f"[{name} finished in {wall:.1f}s]\n")
     total_wall = time.perf_counter() - total_start
+    serial_wall = sum(wall for _name, _table, wall, _elapsed in results)
+    if args.jobs > 1 and total_wall > 0:
+        print(
+            f"[suite: serial-equivalent {serial_wall:.1f}s, elapsed "
+            f"{total_wall:.1f}s, speedup {serial_wall / total_wall:.1f}x]"
+        )
 
     if not args.no_bench:
         payload = _bench_payload(results, profile, args.jobs, total_wall)

@@ -22,6 +22,7 @@ import networkx as nx
 import numpy as np
 
 from repro._validation import require_int_at_least, require_positive
+from repro.perf.cache import cached_artifact
 
 
 @dataclass(frozen=True)
@@ -129,6 +130,7 @@ def grid_topology(rows: int, cols: int, *, spacing: float = 1.0) -> Topology:
     return Topology(graph, positions)
 
 
+@cached_artifact("1")
 def random_geometric_topology(
     n: int,
     *,

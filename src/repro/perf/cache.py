@@ -1,0 +1,281 @@
+"""Content-addressed on-disk artifact cache (opt-in, off by default).
+
+Expensive *derived* artifacts — diamond–square terrains, random geometric
+topologies, AR/seasonal feature fits, spectral eigendecompositions — are
+pure functions of their parameters and a seed.  :class:`ArtifactCache`
+stores their pickled outputs under a key derived from
+
+    function name + canonicalized parameters + code-version salt
+
+so a warm hit returns a byte-identical object without recomputation.  The
+salt is a per-function version string: bump it whenever the wrapped
+implementation changes meaningfully, and every stale entry silently
+becomes a miss.
+
+Activation is explicit: the cache is live only when the ``REPRO_CACHE``
+environment variable names a directory (the runner's ``--cache`` flag
+sets it, and ``--jobs`` worker processes inherit it through the
+environment).  With the variable unset every wrapped function runs
+exactly as before — tests never see a cache unless they opt in.
+
+Storage is one file per entry with atomic (write-temp + rename) creation,
+safe under concurrent pool workers.  Total size is bounded
+(``REPRO_CACHE_MAX_BYTES``, default 1 GiB): inserts evict
+least-recently-used entries first, where "used" is the file mtime
+refreshed on every hit.
+
+``python -m repro cache`` (see :mod:`repro.perf.cli`) prints statistics
+or clears the directory.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+#: Environment variable naming the cache directory; unset ⇒ cache off.
+CACHE_ENV = "REPRO_CACHE"
+#: Environment variable bounding the cache size in bytes.
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+#: Default size bound: 1 GiB.
+DEFAULT_MAX_BYTES = 1 << 30
+#: Bump to invalidate every entry at once (key-schema version).
+_KEY_SCHEMA = 1
+
+_OPEN_CACHES: dict[tuple[str, int], "ArtifactCache"] = {}
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce *value* to a deterministic JSON-able structure for hashing.
+
+    Scalars pass through (floats via ``repr`` so 0.1 and 0.1000...1
+    differ), mappings are sorted by key, sequences keep order, and numpy
+    arrays collapse to (dtype, shape, sha256 of their bytes) — content
+    addressing without embedding megabytes into the key.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return ("f", repr(value))
+    if isinstance(value, np.ndarray):
+        data = np.ascontiguousarray(value)
+        return (
+            "ndarray",
+            str(data.dtype),
+            list(data.shape),
+            hashlib.sha256(data.tobytes()).hexdigest(),
+        )
+    if isinstance(value, np.generic):
+        return canonicalize(value.item())
+    if isinstance(value, Mapping):
+        return ("map", sorted((repr(k), canonicalize(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return ("seq", [canonicalize(v) for v in value])
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for a cache key")
+
+
+def cache_key(func_name: str, params: Mapping[str, Any], salt: str) -> str:
+    """The content-addressed key: sha256 over name, salt and parameters."""
+    payload = json.dumps(
+        {
+            "schema": _KEY_SCHEMA,
+            "func": func_name,
+            "salt": salt,
+            "params": canonicalize(params),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A size-bounded, content-addressed pickle store (see module doc).
+
+    Parameters
+    ----------
+    directory:
+        Where entries live (created on first write).
+    max_bytes:
+        Total size bound; inserts evict least-recently-used entries until
+        the store fits.  ``None`` reads ``REPRO_CACHE_MAX_BYTES`` / the
+        1 GiB default.
+    """
+
+    def __init__(self, directory: str | os.PathLike, max_bytes: int | None = None):
+        self.directory = Path(directory)
+        if max_bytes is None:
+            max_bytes = int(os.environ.get(CACHE_MAX_BYTES_ENV, DEFAULT_MAX_BYTES))
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # core get/put
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """(hit, value); a hit refreshes the entry's LRU timestamp."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.misses += 1
+            return False, None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # entry evicted between read and touch: still a valid hit
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store *value* atomically, then evict down to the size bound."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._evict()
+
+    def get_or_compute(
+        self, func_name: str, params: Mapping[str, Any], compute: Callable[[], Any], *, salt: str = "1"
+    ) -> Any:
+        """Return the cached artifact, computing and storing it on a miss."""
+        key = cache_key(func_name, params, salt)
+        hit, value = self.get(key)
+        if hit:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[os.DirEntry]:
+        try:
+            return [e for e in os.scandir(self.directory) if e.name.endswith(".pkl")]
+        except OSError:
+            return []
+
+    def _evict(self) -> None:
+        entries = self._entries()
+        sizes = {}
+        for entry in entries:
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            sizes[entry.path] = (stat.st_mtime, stat.st_size)
+        total = sum(size for _, size in sizes.values())
+        if total <= self.max_bytes:
+            return
+        for path in sorted(sizes, key=lambda p: sizes[p][0]):
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= sizes[path][1]
+            if total <= self.max_bytes:
+                return
+
+    def stats(self) -> dict[str, Any]:
+        """Disk-level stats plus this process's session hit/miss counters."""
+        entries = self._entries()
+        total = 0
+        for entry in entries:
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                continue
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self._entries():
+            try:
+                os.unlink(entry.path)
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+
+def get_cache() -> ArtifactCache | None:
+    """The active cache per ``REPRO_CACHE``, or None when unset.
+
+    The environment is re-read on every call (tests flip it; pool workers
+    inherit it), but the :class:`ArtifactCache` instance per (directory,
+    bound) is reused so session hit/miss counters accumulate.
+    """
+    directory = os.environ.get(CACHE_ENV)
+    if not directory:
+        return None
+    max_bytes = int(os.environ.get(CACHE_MAX_BYTES_ENV, DEFAULT_MAX_BYTES))
+    key = (directory, max_bytes)
+    cache = _OPEN_CACHES.get(key)
+    if cache is None:
+        cache = _OPEN_CACHES[key] = ArtifactCache(directory, max_bytes)
+    return cache
+
+
+def cached_artifact(salt: str, name: str | None = None) -> Callable:
+    """Decorator: route a pure generator function through the active cache.
+
+    With ``REPRO_CACHE`` unset the wrapper is a single ``if``: the
+    function runs untouched.  With it set, the function's *bound*
+    arguments (defaults applied) become the cache key parameters, so
+    ``f(100)`` and ``f(n=100)`` share an entry.  *salt* is the wrapped
+    function's code-version string — bump it when the implementation
+    changes output.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        signature = inspect.signature(func)
+        func_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            cache = get_cache()
+            if cache is None:
+                return func(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            return cache.get_or_compute(
+                func_name, dict(bound.arguments), lambda: func(*args, **kwargs), salt=salt
+            )
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,74 @@
+"""``repro cache`` — inspect or clear the artifact cache.
+
+Usage::
+
+    repro cache                      # stats for $REPRO_CACHE
+    repro cache stats --dir PATH     # stats for an explicit directory
+    repro cache clear --dir PATH     # delete every entry
+
+Dispatched from :mod:`repro.cli` the same way ``trace`` and ``verify``
+are (the subcommand owns its own argument set).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.perf.cache import CACHE_ENV, ArtifactCache
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point for ``repro cache``."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache", description="inspect or clear the artifact cache"
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default="stats",
+        choices=("stats", "clear"),
+        help="what to do (default: stats)",
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help=f"cache directory (default: ${CACHE_ENV})",
+    )
+    args = parser.parse_args(argv)
+
+    directory = args.dir or os.environ.get(CACHE_ENV)
+    if not directory:
+        print(
+            f"no cache directory: pass --dir or set {CACHE_ENV} "
+            "(the runner's --cache flag sets it)",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ArtifactCache(directory)
+
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {directory}")
+        return 0
+
+    stats = cache.stats()
+    print(f"cache {stats['directory']}")
+    print(f"  entries:   {stats['entries']}")
+    print(f"  size:      {_format_bytes(stats['bytes'])} (bound {_format_bytes(stats['max_bytes'])})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Bounded per-process memo for trial-shared experiment context.
+
+Before trial decomposition, each experiment's monolithic loop built its
+heavy δ-independent context (dataset, fitted features, spectral solver,
+query engines) once and swept parameters over it.  Decomposed trials run
+one parameter cell each — possibly in different processes — so that
+sharing must become explicit: :func:`process_memo` gives every trial in
+one process the *same* context object the monolithic loop would have
+used, while trials landing in other pool workers rebuild it exactly once
+per worker (the persistent pool keeps workers warm across an experiment,
+so the rebuild amortizes the same way).
+
+The contract is the one the monolithic loops already relied on: memoized
+context is **shared, not copied** — trials must treat it as read-only.
+Everything this repository memoizes already honours that (maintenance
+sessions and query engines copy what they intend to mutate).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+#: Retain this many distinct contexts per process (an experiment needs
+#: one; a runner process cycling through experiments needs a few).
+_MAX_ENTRIES = 8
+
+_MEMO: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+
+def process_memo(key: Hashable, factory: Callable[[], Any]) -> Any:
+    """Return the per-process value for *key*, building it on first use.
+
+    LRU-bounded at a handful of entries — enough for every experiment a
+    worker touches, small enough that full-profile datasets don't pile up.
+    """
+    if key in _MEMO:
+        _MEMO.move_to_end(key)
+        return _MEMO[key]
+    value = factory()
+    _MEMO[key] = value
+    while len(_MEMO) > _MAX_ENTRIES:
+        _MEMO.popitem(last=False)
+    return value
+
+
+def clear_process_memo() -> None:
+    """Drop every memoized context (test isolation hook)."""
+    _MEMO.clear()

@@ -1,0 +1,48 @@
+"""Environment metadata for the benchmark artifact.
+
+``BENCH_results.json`` files are compared run-over-run and
+machine-over-machine; a timing delta is meaningless without knowing what
+produced it.  :func:`environment_metadata` captures the comparable facts:
+interpreter, platform, core count, the git revision when available, and
+an ISO timestamp.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from typing import Any
+
+
+def git_revision(cwd: str | None = None) -> str | None:
+    """The current git SHA, or None outside a repository / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha or None
+
+
+def environment_metadata() -> dict[str, Any]:
+    """Facts that make BENCH trajectories comparable across machines."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_revision(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }

@@ -184,7 +184,8 @@ def test_runner_jobs_matches_serial(capsys):
 
     def normalized():
         out = capsys.readouterr().out
-        return re.sub(r"finished in [0-9.]+s", "finished in Xs", out)
+        out = re.sub(r"finished in [0-9.]+s", "finished in Xs", out)
+        return re.sub(r"\[suite: [^\]]*\]\n", "", out)
 
     argv = ["--quick", "--only", "fig09", "complexity", "optimality_gap", "--no-bench"]
     assert runner.main(argv) == 0
