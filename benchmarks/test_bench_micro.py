@@ -12,7 +12,7 @@ from repro.features import EuclideanMetric
 from repro.geometry import grid_topology
 from repro.index import build_backbone, build_mtree
 from repro.queries import RangeQueryEngine
-from repro.sim import EventKernel, Message, Network, ProtocolNode
+from repro.sim import EventKernel, Message, Network, ProtocolNode, TimerWheelKernel
 from repro.sim.radio import LossyLinkModel
 
 
@@ -157,3 +157,86 @@ def test_range_query_latency(benchmark):
     q = features[0]
     out = benchmark(engine.query, q, 0.3, 0)
     assert out.messages >= 0
+
+
+# ----------------------------------------------------------------------
+# kernel scheduling: binary heap vs timer wheel
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("pending", [1_000, 10_000, 100_000])
+@pytest.mark.parametrize("kernel_cls", [EventKernel, TimerWheelKernel],
+                         ids=["heap", "wheel"])
+def test_kernel_post_fire_throughput(benchmark, kernel_cls, pending):
+    """Post `pending` fire-and-forget events over 64 distinct timestamps
+    (the simulator's repeated-timestamp regime), then drain them.
+
+    The wheel's O(1) bucket append vs the heap's O(log n) sift is the gap
+    this pins; both kernels execute the identical (time, seq) order.
+    """
+    sink = _noop
+
+    def post_and_fire():
+        kernel = kernel_cls()
+        post = kernel.post
+        for i in range(pending):
+            post(float(i & 63), sink)
+        kernel.run()
+        return kernel.events_executed
+
+    executed = benchmark.pedantic(post_and_fire, rounds=3, iterations=1)
+    assert executed == pending
+
+
+def _noop():
+    return None
+
+
+# ----------------------------------------------------------------------
+# incremental adjacency patching: churn cost must not scale with N
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("side", [20, 40, 80])
+def test_churn_mutation_cost(benchmark, side):
+    """1k link flaps on grids of 400/1600/6400 nodes.
+
+    Before the incremental patch, every mutation rebuilt the full
+    adjacency (O(N+E) per event) and this bench scaled with `side`²;
+    patched, the per-event cost is bounded by the two endpoint degrees
+    and the three curves should sit on top of each other.
+    """
+    topology = grid_topology(side, side)
+    network = Network(topology.graph, engine="object")
+    edges = list(network.graph.edges)[:500]
+
+    def flap():
+        for u, v in edges:
+            network.remove_edge(u, v)
+            network.restore_edge(u, v)
+
+    benchmark.pedantic(flap, rounds=3, iterations=1)
+    assert network.graph.number_of_edges() == topology.graph.number_of_edges()
+
+
+# ----------------------------------------------------------------------
+# engine flood: object vs array on the jitter=0 fast path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["object", "array"])
+def test_engine_flood_throughput(benchmark, engine):
+    """Broadcast storm on a 2500-node geometric graph: every node emits 16
+    waves before the kernel drains, matching the in-flight population of a
+    10⁵-node expand wave.  The array/object ratio here is the engine
+    speedup number recorded in BENCH (`runner --micro`)."""
+    from repro.geometry import random_geometric_topology
+
+    topology = random_geometric_topology(2500, seed=3)
+
+    def storm():
+        network = Network(topology.graph, engine=engine)
+        sinks = {v: _Sink(v, network) for v in network.graph.nodes}
+        nodes = list(network.graph.nodes)
+        for _ in range(16):
+            for node in nodes:
+                network.broadcast_values(node, "feature")
+        network.run()
+        return sum(s.count for s in sinks.values())
+
+    delivered = benchmark.pedantic(storm, rounds=3, iterations=1)
+    assert delivered == 16 * 2 * topology.graph.number_of_edges()

@@ -40,7 +40,6 @@ from repro._validation import require_positive
 from repro.core.delta import Clustering, clustering_from_assignment
 from repro.features.metrics import Metric
 from repro.geometry.topology import Topology
-from repro.sim.kernel import EventKernel
 from repro.sim.messages import Message
 from repro.sim.network import Network
 from repro.sim.node import ProtocolNode
@@ -182,7 +181,7 @@ def run_spanning_forest(
     """Run the spanning-forest clustering protocol over *topology*."""
     require_positive(delta, "delta")
     if network is None:
-        network = Network(topology.graph, EventKernel())
+        network = Network(topology.graph)
     start_stats = network.stats.snapshot()
 
     nodes: dict[Hashable, SpanningForestNode] = {}

@@ -187,14 +187,14 @@ def _run_algorithm(args: argparse.Namespace, topology, features, metric):
                 )
             from repro.core.elink import compute_kappa
             from repro.geometry import QuadTreeDecomposition
-            from repro.sim import EventKernel, FaultInjector, FaultPlan, Network
+            from repro.sim import FaultInjector, FaultPlan, Network
 
             config = ELinkConfig(
                 delta=args.delta, signalling="explicit", failure_detection=True
             )
             kappa = compute_kappa(topology.num_nodes, config.gamma)
             quadtree = QuadTreeDecomposition(topology)
-            network = Network(topology.graph, EventKernel(), tracer=tracer)
+            network = Network(topology.graph, tracer=tracer)
             # The quadtree root drives the explicit-mode round cascade, so
             # it is protected from the crash draw (the documented
             # FaultPlan.random pattern for roots that anchor a protocol).

@@ -98,7 +98,6 @@ from repro.features.metrics import Metric
 from repro.geometry.quadtree import QuadTreeDecomposition
 from repro.geometry.topology import Topology
 from repro.sim.faults import FaultInjector
-from repro.sim.kernel import EventKernel
 from repro.sim.messages import Message
 from repro.sim.network import Network
 from repro.sim.node import ProtocolNode
@@ -939,7 +938,7 @@ def run_elink(
     if quadtree is None:
         quadtree = QuadTreeDecomposition(topology)
     if network is None:
-        network = injector.network if injector is not None else Network(topology.graph, EventKernel())
+        network = injector.network if injector is not None else Network(topology.graph)
     elif injector is not None and injector.network is not network:
         raise ValueError("injector must be bound to the network running the protocol")
     if tracer is not None:

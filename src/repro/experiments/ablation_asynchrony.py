@@ -22,7 +22,7 @@ import numpy as np
 from repro.core import ELinkConfig, run_elink, validate_clustering
 from repro.datasets import fit_features, generate_tao_dataset
 from repro.experiments.common import ExperimentTable, check_profile
-from repro.sim import EventKernel, Network
+from repro.sim import Network
 
 DELTA = 0.1
 JITTERS = (0.0, 0.3, 0.6, 1.0, 2.0, 4.0)
@@ -58,7 +58,6 @@ def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
             for mode, sink in (("implicit", implicit_counts), ("explicit", explicit_counts)):
                 network = Network(
                     topology.graph,
-                    EventKernel(),
                     jitter=jitter,
                     jitter_seed=seed * 100 + repeat,
                 )

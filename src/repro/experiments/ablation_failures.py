@@ -31,7 +31,7 @@ from repro.core.elink import compute_kappa
 from repro.experiments.common import ExperimentTable, check_profile
 from repro.features.metrics import EuclideanMetric
 from repro.geometry.topology import Topology, grid_topology
-from repro.sim import EventKernel, FaultInjector, FaultPlan, Network
+from repro.sim import FaultInjector, FaultPlan, Network
 
 DELTA = 1.0
 CRASH_FRACTIONS = (0.0, 0.02, 0.05, 0.1)
@@ -71,7 +71,7 @@ def run_trial(spec: dict[str, Any], profile: str) -> dict[str, Any]:
     # The injector mutates the graph in place: each trial gets a copy.
     graph = topology.graph.copy()
     trial = Topology(graph, dict(topology.positions))
-    network = Network(graph, EventKernel())
+    network = Network(graph)
     plan = FaultPlan.random(
         sorted(graph.nodes),
         seed=spec["seed"] + spec["index"],

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.core import ELinkConfig, run_elink, validate_clustering
 from repro.datasets import fit_features, generate_tao_dataset
 from repro.experiments.common import ExperimentTable, check_profile
-from repro.sim import EventKernel, LossyLinkModel, Network
+from repro.sim import LossyLinkModel, Network
 
 DELTA = 0.1
 LOSS_RATES = (0.0, 0.05, 0.1, 0.2, 0.3)
@@ -39,7 +39,7 @@ def run(profile: str = "full", seed: int = 7) -> ExperimentTable:
     baseline_messages: int | None = None
     for loss_rate in LOSS_RATES:
         loss = LossyLinkModel(loss_rate, seed=seed) if loss_rate > 0 else None
-        network = Network(topology.graph, EventKernel(), loss=loss)
+        network = Network(topology.graph, loss=loss)
         result = run_elink(
             topology, features, metric, ELinkConfig(delta=DELTA), network=network
         )

@@ -21,6 +21,7 @@ rounds.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.baselines import (
@@ -36,6 +37,7 @@ from repro.core import (
 )
 from repro.datasets import generate_synthetic_dataset, stream_measurements
 from repro.experiments.common import ExperimentTable, check_profile
+from repro.sim import default_engine
 
 DELTA = 0.08
 SLACK = 0.015
@@ -43,6 +45,12 @@ UPDATE_ROUNDS = 150
 
 SIZES_FULL = (100, 200, 400, 600, 800)
 SIZES_QUICK = (60, 120)
+
+#: Size ladder for the ``--max-n`` scale mode (trimmed/extended to max_n).
+SCALE_SIZES = (2500, 10_000, 40_000, 100_000)
+#: AR-fit readings for scale runs: the fit converges long before 2000 and
+#: the scale mode measures clustering cost, not estimator quality.
+SCALE_READINGS = 200
 
 
 def trial_specs(profile: str, seed: int = 3) -> list[dict[str, Any]]:
@@ -151,9 +159,98 @@ def run(profile: str = "full", seed: int = 3) -> ExperimentTable:
     return combine_trials(results, profile, seed)
 
 
+# ----------------------------------------------------------------------
+# scale mode (--max-n): 10⁴–10⁵+ nodes on the array engine
+# ----------------------------------------------------------------------
+def scale_trial_specs(max_n: int, seed: int = 3) -> list[dict[str, Any]]:
+    """One picklable spec per scale-ladder size, ending exactly at *max_n*."""
+    if max_n < 2:
+        raise ValueError(f"max_n must be >= 2, got {max_n}")
+    sizes = [size for size in SCALE_SIZES if size < max_n]
+    sizes.append(max_n)
+    return [{"n": size, "seed": seed} for size in sizes]
+
+
+def run_scale_trial(spec: dict[str, Any]) -> dict[str, Any]:
+    """Generate + cluster one scale-ladder size; returns the table row.
+
+    Only ELink implicit runs at scale: the O(N²) baselines (hierarchical
+    merge rounds, dense centralized collection) are exactly what Fig 13
+    already shows diverging at N ≤ 800, and they do not finish at 10⁵.
+    Wall times split dataset generation (topology + AR fit) from the
+    clustering run so BENCH trends attribute regressions to the right
+    layer.
+    """
+    n, seed = spec["n"], spec["seed"]
+    effective_delta = DELTA - 2 * SLACK
+    start = time.perf_counter()
+    dataset = generate_synthetic_dataset(n, seed=seed, readings=SCALE_READINGS)
+    generated = time.perf_counter()
+    result = run_elink(
+        dataset.topology, dataset.features, dataset.metric(), ELinkConfig(delta=effective_delta)
+    )
+    clustered = time.perf_counter()
+    return {
+        "n": n,
+        "engine": default_engine(),
+        "clusters": result.num_clusters,
+        "messages": result.total_messages,
+        "gen_wall_s": round(generated - start, 3),
+        "elink_wall_s": round(clustered - generated, 3),
+    }
+
+
+def combine_scale_trials(results: list[dict[str, Any]]) -> ExperimentTable:
+    """Assemble scale rows (spec order) into the printable table."""
+    table = ExperimentTable(
+        name="fig13_scale",
+        title="Fig 13 scale mode: ELink implicit clustering cost at 10⁴–10⁵+ nodes",
+        columns=("n", "engine", "clusters", "messages", "gen_wall_s", "elink_wall_s"),
+    )
+    for row in results:
+        table.add_row(**row)
+    table.notes.append(
+        f"delta = {DELTA - 2 * SLACK}, implicit signalling, "
+        f"{SCALE_READINGS} AR-fit readings; engine follows REPRO_ENGINE / runner --engine"
+    )
+    return table
+
+
+def run_scale(max_n: int, seed: int = 3) -> ExperimentTable:
+    """Run the scale sweep up to *max_n* nodes (see :func:`run_scale_trial`)."""
+    results = [run_scale_trial(spec) for spec in scale_trial_specs(max_n, seed)]
+    return combine_scale_trials(results)
+
+
 def main() -> None:
-    """Command-line entry point."""
-    run().print()
+    """Command-line entry point: full profile, or the --max-n scale sweep."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the scale sweep up to N nodes instead of the paper's figure",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default=None,
+        help="simulation engine for all runs (exported as REPRO_ENGINE)",
+    )
+    args = parser.parse_args()
+    if args.engine is not None:
+        import os
+
+        from repro.sim import ENGINE_ENV
+
+        os.environ[ENGINE_ENV] = args.engine
+    if args.max_n is not None:
+        run_scale(args.max_n).print()
+    else:
+        run().print()
 
 
 if __name__ == "__main__":

@@ -82,6 +82,34 @@ def _run_trial(name: str, spec: Any, profile: str) -> tuple[Any, float]:
     return result, time.perf_counter() - start
 
 
+def _run_scale_trial(spec: Any) -> tuple[Any, float]:
+    """Worker: run one --max-n scale-ladder size (fig13 scale mode)."""
+    from repro.experiments import fig13_scalability_size
+
+    start = time.perf_counter()
+    result = fig13_scalability_size.run_scale_trial(spec)
+    return result, time.perf_counter() - start
+
+
+def _run_scale(max_n: int, jobs: int) -> tuple[ExperimentTable, float]:
+    """Run the fig13 scale sweep up to *max_n*, optionally over the pool."""
+    from repro.experiments import fig13_scalability_size
+
+    specs = fig13_scalability_size.scale_trial_specs(max_n)
+    start = time.perf_counter()
+    if jobs > 1:
+        from repro.perf.pool import create_pool
+
+        with create_pool(min(jobs, len(specs))) as pool:
+            futures = [pool.submit(_run_scale_trial, spec) for spec in specs]
+            outputs = [future.result() for future in futures]
+        results = [result for result, _wall in outputs]
+    else:
+        results = [fig13_scalability_size.run_scale_trial(spec) for spec in specs]
+    table = fig13_scalability_size.combine_scale_trials(results)
+    return table, time.perf_counter() - start
+
+
 def _run_parallel(
     names: list[str], profile: str, jobs: int
 ) -> list[tuple[str, ExperimentTable, float, float]]:
@@ -134,6 +162,69 @@ def _run_parallel(
     return results
 
 
+def _noop() -> None:
+    return None
+
+
+def _run_micro() -> dict:
+    """Kernel + engine micro timings for the BENCH ``micro`` block.
+
+    Two entries: heap-vs-wheel post/fire wall time at 10³/10⁴/10⁵ pending
+    events (64 distinct timestamps — the repeated-timestamp regime), and
+    the object-vs-array broadcast-storm speedup at N=2500 on the jitter=0
+    fast path (the engine acceptance number).
+    """
+    from repro.geometry import random_geometric_topology
+    from repro.sim import EventKernel, Network, TimerWheelKernel
+
+    kernels: dict[str, dict] = {}
+    for pending in (1_000, 10_000, 100_000):
+        row = {}
+        for label, kernel_cls in (("heap", EventKernel), ("wheel", TimerWheelKernel)):
+            kernel = kernel_cls()
+            post = kernel.post
+            start = time.perf_counter()
+            for i in range(pending):
+                post(float(i & 63), _noop)
+            posted = time.perf_counter()
+            kernel.run()
+            fired = time.perf_counter()
+            row[label] = {
+                "post_s": round(posted - start, 4),
+                "fire_s": round(fired - posted, 4),
+            }
+        kernels[str(pending)] = row
+
+    class _Sink:
+        __slots__ = ("count",)
+
+        def __init__(self):
+            self.count = 0
+
+        def handle_message(self, message):
+            self.count += 1
+
+    topology = random_geometric_topology(2500, seed=3)
+    flood: dict[str, float] = {}
+    for engine in ("object", "array"):
+        network = Network(topology.graph, engine=engine)
+        sink = _Sink()
+        for node in network.graph.nodes:
+            network.register(node, sink)
+        nodes = list(network.graph.nodes)
+        start = time.perf_counter()
+        for _ in range(16):
+            for node in nodes:
+                network.broadcast_values(node, "feature")
+        network.run()
+        flood[f"{engine}_s"] = round(time.perf_counter() - start, 4)
+    flood["messages"] = 16 * 2 * topology.graph.number_of_edges()
+    flood["speedup"] = (
+        round(flood["object_s"] / flood["array_s"], 2) if flood["array_s"] else None
+    )
+    return {"kernel_post_fire": kernels, "engine_flood_n2500": flood}
+
+
 def _bench_payload(
     results: list[tuple[str, ExperimentTable, float, float]],
     profile: str,
@@ -143,11 +234,14 @@ def _bench_payload(
     from repro.perf import get_cache
     from repro.perf.meta import environment_metadata
 
+    from repro.sim import default_engine
+
     serial_wall = sum(wall for _name, _table, wall, _elapsed in results)
     payload = {
-        "schema": 2,
+        "schema": 3,
         "profile": profile,
         "jobs": jobs,
+        "engine": default_engine(),
         "environment": environment_metadata(),
         "total_wall_s": round(total_wall, 3),
         "serial_wall_s": round(serial_wall, 3),
@@ -194,6 +288,29 @@ def main(argv: list[str] | None = None) -> int:
         "--no-bench", action="store_true", help="skip writing the benchmark artifact"
     )
     parser.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default=None,
+        help="simulation engine for every run (exported as REPRO_ENGINE so "
+        "--jobs workers inherit it; default: object, or the caller's "
+        "REPRO_ENGINE)",
+    )
+    parser.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also run the fig13 scale sweep up to N nodes and record it as "
+        "the BENCH scale block; given without --only, the scale sweep "
+        "replaces the regular experiment list",
+    )
+    parser.add_argument(
+        "--micro",
+        action="store_true",
+        help="also time kernel heap-vs-wheel scheduling and the object-vs-"
+        "array engine flood, recorded as the BENCH micro block",
+    )
+    parser.add_argument(
         "--cache",
         nargs="?",
         const=".repro-cache",
@@ -237,6 +354,15 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[CACHE_ENV] = args.cache
     if os.environ.get(CACHE_ENV):
         print(f"[artifact cache: {os.environ[CACHE_ENV]}]")
+    # Engine policy: --engine exports REPRO_ENGINE before any pool forks,
+    # so this process and every --jobs worker resolve the same engine; an
+    # explicit REPRO_ENGINE in the caller's environment also works.
+    from repro.sim import ENGINE_ENV, default_engine
+
+    if args.engine is not None:
+        os.environ[ENGINE_ENV] = args.engine
+    if default_engine() != "object":
+        print(f"[engine: {default_engine()}]")
     # Verification policy: --verify arms the full oracle; --quick defaults
     # to the cheap end-of-run checks (they cost one clustering validation
     # per run and never alter a table).  The level travels through the
@@ -252,13 +378,19 @@ def main(argv: list[str] | None = None) -> int:
     verify_level = verification_level()
     if verify_level != "off":
         print(f"[verification: {verify_level} — invariant violations abort the run]")
-    names = args.only if args.only else list(ALL_EXPERIMENTS)
+    if args.max_n is not None:
+        # A scale run replaces the regular suite unless --only names some.
+        names = args.only or []
+    else:
+        names = args.only if args.only else list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
     total_start = time.perf_counter()
-    if args.jobs == 1:
+    if not names:
+        results = []
+    elif args.jobs == 1:
         from repro.obs.profiler import KernelProfiler, profiled
 
         profiler = KernelProfiler() if args.kernel_profile else None
@@ -284,9 +416,22 @@ def main(argv: list[str] | None = None) -> int:
         for name, table, wall, _elapsed in results:
             table.print()
             print(f"[{name} finished in {wall:.1f}s]\n")
+    micro = None
+    if args.micro:
+        micro = _run_micro()
+        flood = micro["engine_flood_n2500"]
+        print(
+            f"[micro: engine flood n=2500 — object {flood['object_s']}s, "
+            f"array {flood['array_s']}s, speedup {flood['speedup']}x]\n"
+        )
+    scale_table = scale_wall = None
+    if args.max_n is not None:
+        scale_table, scale_wall = _run_scale(args.max_n, args.jobs)
+        scale_table.print()
+        print(f"[fig13 scale sweep (max_n={args.max_n}) finished in {scale_wall:.1f}s]\n")
     total_wall = time.perf_counter() - total_start
     serial_wall = sum(wall for _name, _table, wall, _elapsed in results)
-    if args.jobs > 1 and total_wall > 0:
+    if args.jobs > 1 and results and total_wall > 0:
         print(
             f"[suite: serial-equivalent {serial_wall:.1f}s, elapsed "
             f"{total_wall:.1f}s, speedup {serial_wall / total_wall:.1f}x]"
@@ -294,6 +439,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.no_bench:
         payload = _bench_payload(results, profile, args.jobs, total_wall)
+        if micro is not None:
+            payload["micro"] = micro
+        if scale_table is not None:
+            payload["scale"] = {
+                "max_n": args.max_n,
+                "wall_s": round(scale_wall, 3),
+                **scale_table.to_json_dict(),
+            }
         with open(args.bench_out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")

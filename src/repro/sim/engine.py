@@ -1,0 +1,295 @@
+"""Struct-of-arrays fast engine (DESIGN.md §8, "Array engine").
+
+:class:`ArrayNetwork` is a drop-in :class:`~repro.sim.network.Network`
+subclass tuned for 10⁵–10⁶-node runs.  It keeps the object engine's
+delivery *semantics* — same structured failures, same stats totals, same
+trace streams — while replacing the three per-message costs that dominate
+large runs:
+
+- **CSR adjacency.**  ``_rebuild_adjacency`` builds compressed-sparse-row
+  arrays (``indptr``/``indices`` over a node index) instead of a dict of
+  per-node tuples + frozensets.  Neighbour tuples and sets are
+  *materialized lazily* from the CSR rows the first time a node's row is
+  touched (``_CSRRows``), so constructing a million-node network allocates
+  two numpy arrays and one index dict, not 2N Python collections.  Row
+  order is the CSR order, which is ``graph.adj`` insertion order — the
+  ordering the BFS tie-breaking contract depends on.  Fault mutators patch
+  affected rows in place (materialize + filter/append), so unpatched rows
+  remain valid snapshots of the construction-time topology.
+
+- **Timer-wheel kernel.**  The default kernel is
+  :class:`~repro.sim.kernel.TimerWheelKernel`, a calendar queue with
+  exact-timestamp FIFO buckets — O(1) push for the dominant repeated-
+  timestamp workload.
+
+- **Cohort-batched delivery.**  On the jitter=0/no-loss fast path every
+  hop arrives at ``now + hop_delay``, so consecutive sends target the same
+  timestamp.  ``_post_delivery`` groups them into one *cohort*: a single
+  kernel event that drains the whole same-timestamp message list in one
+  callback.  The sealing rule keeps this byte-identical to the heap
+  engine's ``(time, seq)`` order: a cohort accepts appends only while the
+  kernel has seen **no push of any kind** since the cohort's own event was
+  queued (tracked via ``TimerWheelKernel.pushes``).  Any intervening push
+  — a timer, a delivery at another timestamp — seals the cohort, and the
+  next same-timestamp send starts a fresh one.  Sealing on *every* push is
+  conservative (only same-timestamp pushes could actually interleave) but
+  makes the ordering argument airtight: cohort members are contiguous in
+  sequence order with no kernel entry between them, exactly as the heap
+  engine would schedule them.
+
+- **Batched broadcast.**  :meth:`ArrayNetwork.broadcast_values`
+  constructs the neighbourhood's identical messages through
+  :meth:`Message.batch` (validation hoisted out of the loop) and charges
+  :meth:`MessageStats.charge_batch` once — the same totals N ``charge``
+  calls would accumulate.
+
+Determinism contract: at a fixed seed, both engines produce identical
+protocol state, identical :class:`MessageStats` totals, and identical
+trace event streams (``repro.verify``'s replay differ is run across
+engines in the equivalence suite).  The only intentional difference is
+``kernel.events_executed`` — a cohort is one kernel event for k messages.
+
+Observability fallbacks: with a tracer attached, an energy model, or loss
+enabled, the batched broadcast falls back to the reference per-message
+path (cohorts still apply), so traced runs emit per-message events in the
+reference order.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.sim.kernel import EventKernel, TimerWheelKernel
+from repro.sim.messages import _DEFAULT_CATEGORIES, CATEGORY_DATA, Message
+from repro.sim.network import Network
+
+__all__ = ["ArrayNetwork"]
+
+
+class _CSRRows(dict):
+    """``node -> row`` mapping materialized on demand from CSR storage.
+
+    Behaves like the eager dict the object engine precomputes: item access
+    and ``in``/``get`` consult the owning network's CSR index for rows not
+    yet materialized.  Mutated rows are stored directly (dict assignment),
+    shadowing the CSR snapshot from then on.
+    """
+
+    __slots__ = ("_net", "_cast")
+
+    def __init__(self, net: "ArrayNetwork", cast):
+        super().__init__()
+        self._net = net
+        self._cast = cast
+
+    def __missing__(self, key):
+        row = self._cast(self._net._csr_row(key))
+        self[key] = row
+        return row
+
+    def __contains__(self, key):
+        return dict.__contains__(self, key) or self._net._csr_has_row(key)
+
+    def get(self, key, default=None):
+        if dict.__contains__(self, key):
+            return dict.__getitem__(self, key)
+        if self._net._csr_has_row(key):
+            return self[key]
+        return default
+
+
+class ArrayNetwork(Network):
+    """CSR-adjacency, cohort-batched engine.  See module docstring.
+
+    Build via ``Network(graph, engine="array")`` (or ``REPRO_ENGINE=array``)
+    rather than instantiating directly, so call sites stay engine-agnostic.
+    """
+
+    engine = "array"
+
+    def __init__(self, graph, kernel: EventKernel | None = None, **kwargs):
+        super().__init__(graph, kernel, **kwargs)
+        #: Open delivery cohorts: time -> (message list, kernel.pushes at
+        #: the moment the cohort's kernel event was queued).
+        self._cohorts: dict[float, tuple[list, int]] = {}
+        #: Cohort batching needs the fast delivery regime *and* the wheel's
+        #: push counter; with a plain heap kernel the engine degrades to
+        #: per-message posts (still CSR-backed).
+        self._batch = self._fast and isinstance(self.kernel, TimerWheelKernel)
+        #: node -> bound ``handle_message``, so the cohort drain skips one
+        #: attribute lookup per delivered message.
+        self._dispatch: dict[Hashable, callable] = {}
+        #: Folded guard for the batched broadcast: everything static that
+        #: forces the reference path (no wheel, tracer, energy model).
+        #: ``_mutated`` stays a separate per-call check since faults flip
+        #: it mid-run.
+        self._bcast_ok = self._batch and self._tracer is None and self.energy is None
+
+    def register(self, node_id, handler) -> None:
+        super().register(node_id, handler)
+        self._dispatch[node_id] = handler.handle_message
+
+    @Network.tracer.setter
+    def tracer(self, tracer) -> None:
+        Network.tracer.fset(self, tracer)
+        self._bcast_ok = self._batch and tracer is None and self.energy is None
+
+    @staticmethod
+    def _default_kernel() -> EventKernel:
+        return TimerWheelKernel()
+
+    # ------------------------------------------------------------------
+    # CSR adjacency
+    # ------------------------------------------------------------------
+    def _rebuild_adjacency(self) -> None:
+        graph = self.graph
+        nodes = list(graph.nodes)
+        index = {v: i for i, v in enumerate(nodes)}
+        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+        indices = np.empty(2 * graph.number_of_edges(), dtype=np.int64)
+        pos = 0
+        for i, (_, nbrs) in enumerate(graph.adj.items()):
+            for w in nbrs:
+                indices[pos] = index[w]
+                pos += 1
+            indptr[i + 1] = pos
+        self._node_list = nodes
+        self._node_index = index
+        self._indptr = indptr
+        self._indices = indices
+        #: Liveness mask over the CSR index space (numpy node state; fault
+        #: mutators keep it in sync with ``dead_nodes``).
+        self._alive = np.ones(len(nodes), dtype=bool)
+        self._removed_rows: set[Hashable] = set()
+        self._adj = _CSRRows(self, tuple)
+        self._adj_sets = _CSRRows(self, frozenset)
+
+    def _csr_row(self, key) -> tuple:
+        """Materialize *key*'s neighbour tuple from the CSR snapshot."""
+        i = self._node_index[key]  # KeyError for unknown nodes, as eager dicts give
+        if key in self._removed_rows:
+            raise KeyError(key)
+        start, end = self._indptr[i], self._indptr[i + 1]
+        return tuple(map(self._node_list.__getitem__, self._indices[start:end].tolist()))
+
+    def _csr_has_row(self, key) -> bool:
+        return key in self._node_index and key not in self._removed_rows
+
+    def _adjacency_drop_node(self, node_id, neighbours: Iterable[Hashable]) -> None:
+        self._removed_rows.add(node_id)
+        idx = self._node_index.get(node_id)
+        if idx is not None:
+            self._alive[idx] = False
+        adj = self._adj
+        adj_sets = self._adj_sets
+        for nbr in neighbours:
+            row = tuple(x for x in adj[nbr] if x != node_id)
+            adj[nbr] = row
+            adj_sets[nbr] = frozenset(row)
+        # Drop any materialized copies; the _removed_rows mark stops the
+        # CSR snapshot from resurrecting the row on later access.
+        adj.pop(node_id, None)
+        adj_sets.pop(node_id, None)
+
+    def _adjacency_add_node(self, node_id) -> None:
+        self._removed_rows.discard(node_id)
+        idx = self._node_index.get(node_id)
+        if idx is not None:
+            self._alive[idx] = True
+        super()._adjacency_add_node(node_id)
+
+    # ------------------------------------------------------------------
+    # cohort-batched delivery
+    # ------------------------------------------------------------------
+    def _post_delivery(self, delay: float, message: Message) -> None:
+        kernel = self.kernel
+        if not self._batch:
+            kernel.post(delay, self._deliver, message)
+            return
+        time = kernel.now + delay
+        entry = self._cohorts.get(time)
+        if entry is not None and entry[1] == kernel.pushes:
+            entry[0].append(message)
+            return
+        batch = [message]
+        kernel.post(delay, self._deliver_cohort, time, batch)
+        self._cohorts[time] = (batch, kernel.pushes)
+
+    def _deliver_cohort(self, time: float, batch: list) -> None:
+        entry = self._cohorts.get(time)
+        if entry is not None and entry[0] is batch:
+            del self._cohorts[time]
+        if self._tracer is not None:
+            deliver = self._deliver
+            for message in batch:
+                deliver(message)
+            return
+        dispatch = self._dispatch
+        dead = self.dead_nodes
+        for message in batch:
+            # dead_nodes is re-checked per message: a handler running
+            # earlier in this cohort may have crashed a later recipient,
+            # and the object engine's per-event delivery would see that.
+            if dead and message.dst in dead:
+                self._drop(message, "dead_destination")
+                continue
+            try:
+                handle = dispatch[message.dst]
+            except KeyError:
+                handle = self.handler(message.dst).handle_message  # canonical error
+            handle(message)
+
+    def broadcast_values(
+        self,
+        src,
+        kind: str,
+        payload=None,
+        values: int = 1,
+        category: str = "",
+    ) -> int:
+        """Batched homogeneous broadcast: one stats charge, one cohort.
+
+        Falls back to the reference per-message path whenever any
+        per-message observer could tell the difference (faults pending,
+        tracer attached, energy model, loss/jitter).
+        """
+        if self._mutated or not self._bcast_ok:
+            return Network.broadcast_values(self, src, kind, payload, values, category)
+        neighbours = self._adj[src]
+        count = len(neighbours)
+        if count == 0:
+            return 0
+        if values < 1:
+            raise ValueError(f"message must carry at least one value, got {values}")
+        if not category:
+            category = _DEFAULT_CATEGORIES.get(kind, CATEGORY_DATA)
+        # Inlined MessageStats.charge_batch (count/values validated above)
+        # — the call itself is measurable at this call rate.
+        stats = self.stats
+        total = count * values
+        stats.packets_by_kind[kind] += count
+        stats.values_by_kind[kind] += total
+        stats.packets_by_category[category] += count
+        stats.values_by_category[category] += total
+        stats._total_packets += count
+        stats._total_values += total
+        kernel = self.kernel
+        time = kernel.now + self.hop_delay
+        cohorts = self._cohorts
+        entry = cohorts.get(time)
+        if entry is not None and entry[1] == kernel.pushes:
+            # Open cohort: construct the copies straight into it.
+            Message.batch(kind, src, neighbours, payload, values, category, entry[0])
+        else:
+            messages = Message.batch(kind, src, neighbours, payload, values, category)
+            kernel.post(self.hop_delay, self._deliver_cohort, time, messages)
+            cohorts[time] = (messages, kernel.pushes)
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayNetwork(nodes={self.graph.number_of_nodes()}, "
+            f"edges={self.graph.number_of_edges()}, t={self.kernel.now:.2f})"
+        )

@@ -93,3 +93,45 @@ class Message:
             raise ValueError(f"message must carry at least one value, got {self.values}")
         if not self.category:
             self.category = _DEFAULT_CATEGORIES.get(self.kind, CATEGORY_DATA)
+
+    @classmethod
+    def batch(
+        cls,
+        kind: str,
+        src: Hashable,
+        dsts: Any,
+        payload: Any,
+        values: int,
+        category: str,
+        out: "list | None" = None,
+    ) -> "list[Message]":
+        """One identical message per destination, allocation-slim.
+
+        Fast path for homogeneous broadcasts (the array engine's batched
+        delivery): the caller validates ``values`` and resolves
+        ``category`` once, so per-message ``__init__``/``__post_init__``
+        work is skipped.  Field-for-field identical to constructing each
+        message with ``Message(kind, src, dst, payload, values, category)``.
+
+        When *out* is given the messages are appended to it (the array
+        engine passes an open delivery cohort, skipping an intermediate
+        list); a fresh list is returned otherwise.
+        """
+        if values < 1:
+            raise ValueError(f"message must carry at least one value, got {values}")
+        if not category:
+            category = _DEFAULT_CATEGORIES.get(kind, CATEGORY_DATA)
+        new = object.__new__
+        if out is None:
+            out = []
+        append = out.append
+        for dst in dsts:
+            message = new(cls)
+            message.kind = kind
+            message.src = src
+            message.dst = dst
+            message.payload = payload
+            message.values = values
+            message.category = category
+            append(message)
+        return out

@@ -37,8 +37,9 @@ Performance notes (see DESIGN.md, "Fast-path simulation engine"):
   the per-message path never touches ``graph.has_edge``/``graph.neighbors``.
   Topology changes go through the mutators :meth:`remove_node` /
   :meth:`restore_node` / :meth:`remove_edge` / :meth:`restore_edge`, which
-  invalidate the path cache themselves; hand-mutating ``self.graph``
-  requires a manual :meth:`invalidate_paths`.
+  clear the path cache and patch the affected adjacency rows in place
+  (O(local degree) per fault event); hand-mutating ``self.graph``
+  requires a manual :meth:`invalidate_paths` (full rebuild).
 - When ``jitter == 0 and loss is None`` (the paper's synchronous reliable
   model, and the default) deliveries take a zero-overhead fast path:
   constant hop delay, no RNG call, no per-attempt loop, and a single
@@ -58,6 +59,7 @@ Performance notes (see DESIGN.md, "Fast-path simulation engine"):
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Protocol, Sequence
 
@@ -79,6 +81,29 @@ _JITTER_CHUNK = 256
 
 #: Default bound on the (src, dst) -> path LRU cache.
 DEFAULT_PATH_CACHE_SIZE = 32768
+
+#: Environment variable selecting the default simulation engine.  Follows
+#: the same worker-inheritance pattern as ``REPRO_CACHE``: the experiment
+#: runner's ``--engine`` flag sets it in the parent, and spawned trial
+#: workers inherit it, so one flag steers every Network built in a suite.
+ENGINE_ENV = "REPRO_ENGINE"
+
+_ENGINES = ("object", "array")
+
+
+def default_engine() -> str:
+    """The engine :class:`Network` builds when none is requested explicitly.
+
+    ``"object"`` (the reference engine) unless ``REPRO_ENGINE`` selects
+    ``"array"`` — the struct-of-arrays fast engine in
+    :mod:`repro.sim.engine`.
+    """
+    value = os.environ.get(ENGINE_ENV, "").strip().lower()
+    if not value:
+        return "object"
+    if value not in _ENGINES:
+        raise ValueError(f"{ENGINE_ENV} must be one of {_ENGINES}, got {value!r}")
+    return value
 
 
 class MessageHandler(Protocol):
@@ -110,6 +135,13 @@ class Network:
         transmissions are retransmitted (ARQ), inflating cost and delay.
     path_cache_size:
         Bound on the shortest-path LRU (number of cached paths).
+    engine:
+        ``"object"`` (this reference implementation), ``"array"`` (the
+        struct-of-arrays fast engine, :class:`repro.sim.engine.ArrayNetwork`)
+        or ``None`` to follow :func:`default_engine` / the ``REPRO_ENGINE``
+        environment variable.  ``Network(graph, engine="array")`` returns an
+        ``ArrayNetwork`` instance; both engines produce byte-identical
+        protocol results at fixed seeds (see DESIGN.md §8).
     tracer:
         Optional :class:`repro.obs.trace.Tracer`.  When attached, the
         delivery layer emits ``msg.send`` / ``msg.route`` /
@@ -122,6 +154,24 @@ class Network:
         byte-identical with or without the hooks compiled in.
     """
 
+    #: Engine name this class implements; the ``engine=`` constructor
+    #: argument dispatches between subclasses on this.
+    engine = "object"
+
+    def __new__(cls, *args, **kwargs):
+        # Engine selector: ``Network(graph, engine="array")`` (or
+        # REPRO_ENGINE=array) transparently builds the fast engine.
+        # Subclasses instantiated directly bypass the dispatch.
+        if cls is Network:
+            requested = kwargs.get("engine") or default_engine()
+            if requested == "array":
+                from repro.sim.engine import ArrayNetwork
+
+                return super().__new__(ArrayNetwork)
+            if requested not in _ENGINES:
+                raise ValueError(f"engine must be one of {_ENGINES}, got {requested!r}")
+        return super().__new__(cls)
+
     def __init__(
         self,
         graph: nx.Graph,
@@ -133,14 +183,20 @@ class Network:
         energy: "EnergyModel | None" = None,
         loss: "LossyLinkModel | None" = None,
         path_cache_size: int = DEFAULT_PATH_CACHE_SIZE,
+        engine: str | None = None,
         tracer: "Tracer | None" = None,
     ):
+        if engine is not None and engine != self.engine:
+            raise ValueError(
+                f"requested engine {engine!r} but {type(self).__name__} implements "
+                f"{self.engine!r}"
+            )
         if graph.number_of_nodes() == 0:
             raise ValueError("communication graph must have at least one node")
         if path_cache_size < 1:
             raise ValueError(f"path_cache_size must be >= 1, got {path_cache_size}")
         self.graph = graph
-        self.kernel = kernel if kernel is not None else EventKernel()
+        self.kernel = kernel if kernel is not None else self._default_kernel()
         self.hop_delay = require_positive(hop_delay, "hop_delay")
         if jitter < 0:
             raise ValueError(f"jitter must be >= 0, got {jitter}")
@@ -182,6 +238,11 @@ class Network:
         )
         self._rebuild_adjacency()
 
+    @staticmethod
+    def _default_kernel() -> EventKernel:
+        """Kernel built when the constructor is not handed one."""
+        return EventKernel()
+
     def _rebuild_adjacency(self) -> None:
         # Neighbour tuples preserve graph.adj iteration order (BFS
         # tie-breaking depends on it); sets give O(1) edge checks.
@@ -191,6 +252,64 @@ class Network:
         self._adj_sets: dict[Hashable, frozenset] = {
             v: frozenset(nbrs) for v, nbrs in self._adj.items()
         }
+
+    # ------------------------------------------------------------------
+    # incremental adjacency patches (fault mutators)
+    #
+    # The mutators used to call invalidate_paths(), re-deriving the whole
+    # adjacency (O(N+E)) on every crash/churn event.  Each patch below
+    # touches only the affected rows (O(sum of their degrees)) and
+    # reproduces the exact row contents and ordering a full rebuild from
+    # ``self.graph`` would give: networkx adjacency views iterate in edge
+    # insertion order, removals preserve the order of survivors, and
+    # re-adds append — so filtering/appending tuples matches a rebuild
+    # element for element (the equivalence is pinned in tests).
+    # ------------------------------------------------------------------
+    def _adjacency_drop_node(self, node_id: Hashable, neighbours: Iterable[Hashable]) -> None:
+        """Patch adjacency after *node_id* left ``self.graph``."""
+        adj = self._adj
+        adj_sets = self._adj_sets
+        for nbr in neighbours:
+            row = tuple(x for x in adj[nbr] if x != node_id)
+            adj[nbr] = row
+            adj_sets[nbr] = frozenset(row)
+        del adj[node_id]
+        del adj_sets[node_id]
+
+    def _adjacency_add_node(self, node_id: Hashable) -> None:
+        """Patch adjacency after *node_id* (re)joined ``self.graph``."""
+        adj = self._adj
+        adj_sets = self._adj_sets
+        row = tuple(self.graph.adj[node_id])
+        adj[node_id] = row
+        adj_sets[node_id] = frozenset(row)
+        for nbr in row:
+            if node_id not in adj_sets[nbr]:
+                patched = adj[nbr] + (node_id,)
+                adj[nbr] = patched
+                adj_sets[nbr] = frozenset(patched)
+
+    def _adjacency_drop_edge(self, u: Hashable, v: Hashable) -> None:
+        """Patch adjacency after edge *u*—*v* left ``self.graph``."""
+        adj = self._adj
+        adj_sets = self._adj_sets
+        row_u = tuple(x for x in adj[u] if x != v)
+        adj[u] = row_u
+        adj_sets[u] = frozenset(row_u)
+        row_v = tuple(x for x in adj[v] if x != u)
+        adj[v] = row_v
+        adj_sets[v] = frozenset(row_v)
+
+    def _adjacency_add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Patch adjacency after edge *u*—*v* (re)joined ``self.graph``."""
+        adj = self._adj
+        adj_sets = self._adj_sets
+        row_u = adj[u] + (v,)
+        adj[u] = row_u
+        adj_sets[u] = frozenset(row_u)
+        row_v = adj[v] + (u,)
+        adj[v] = row_v
+        adj_sets[v] = frozenset(row_v)
 
     @property
     def tracer(self) -> "Tracer | None":
@@ -295,14 +414,23 @@ class Network:
                 self.energy.charge_hop(src, message.dst, message.values)
             if self._tracer is not None:
                 self._trace_send(message)
-            self.kernel.post(self.hop_delay, self._deliver, message)
+            self._post_delivery(self.hop_delay, message)
             return True
         attempts = self._hop_cost(src, message.dst, message)
         delay = sum(self._sample_hop_delay() for _ in range(attempts))
         if self._tracer is not None:
             self._trace_send(message, attempts=attempts)
-        self.kernel.post(delay, self._deliver, message)
+        self._post_delivery(delay, message)
         return True
+
+    def _post_delivery(self, delay: float, message: Message) -> None:
+        """Schedule *message* to arrive ``delay`` from now.
+
+        Single override point for the delivery queue: the array engine
+        replaces it with a cohort-batched path that groups same-timestamp
+        deliveries into one kernel event.
+        """
+        self.kernel.post(delay, self._deliver, message)
 
     def _trace_send(self, message: Message, attempts: int = 1) -> None:
         """Emit ``msg.send`` (single-hop unicast scheduled)."""
@@ -329,6 +457,27 @@ class Network:
             if self.send(make_message(neighbor)):
                 count += 1
         return count
+
+    def broadcast_values(
+        self,
+        src: Hashable,
+        kind: str,
+        payload=None,
+        values: int = 1,
+        category: str = "",
+    ) -> int:
+        """Broadcast one homogeneous *kind* message to every neighbour.
+
+        Equivalent to :meth:`broadcast` with a ``Message(kind, src, nbr,
+        payload, values)`` factory — the common case for protocol
+        neighbourhood floods.  Exists as its own entry point so the array
+        engine can override it with a batched path (shared cost charging,
+        one delivery cohort) while this reference implementation keeps the
+        per-message semantics.
+        """
+        return self.broadcast(
+            src, lambda neighbor: Message(kind, src, neighbor, payload, values, category)
+        )
 
     def route(self, message: Message) -> int:
         """Deliver *message* along a shortest path; returns the hop count.
@@ -397,7 +546,7 @@ class Network:
                 hops=hops,
             )
         if hops == 0:
-            self.kernel.post(self.hop_delay, self._deliver, message)
+            self._post_delivery(self.hop_delay, message)
             return 0
         if self._fast:
             # One stats record covers all hops (counters are additive);
@@ -406,13 +555,13 @@ class Network:
             if self.energy is not None:
                 for a, b in zip(path, path[1:]):
                     self.energy.charge_hop(a, b, message.values)
-            self.kernel.post(hops * self.hop_delay, self._deliver, message)
+            self._post_delivery(hops * self.hop_delay, message)
             return hops
         delay = 0.0
         for a, b in zip(path, path[1:]):
             attempts = self._hop_cost(a, b, message)
             delay += sum(self._sample_hop_delay() for _ in range(attempts))
-        self.kernel.post(delay, self._deliver, message)
+        self._post_delivery(delay, message)
         return hops
 
     def _deliver(self, message: Message) -> None:
@@ -477,7 +626,8 @@ class Network:
         self.graph.remove_node(node_id)
         self.dead_nodes.add(node_id)
         self._mutated = True
-        self.invalidate_paths()
+        self._path_cache.clear()
+        self._adjacency_drop_node(node_id, neighbours)
         if self._tracer is not None:
             self._tracer.emit(
                 self.kernel.now, "node.crash", node_id, degree=len(neighbours)
@@ -498,7 +648,8 @@ class Network:
                 self.graph.add_edge(node_id, nbr)
         self.dead_nodes.discard(node_id)
         self._mutated = True
-        self.invalidate_paths()
+        self._path_cache.clear()
+        self._adjacency_add_node(node_id)
         if self._tracer is not None:
             self._tracer.emit(
                 self.kernel.now, "node.recover", node_id, degree=self.graph.degree(node_id)
@@ -511,7 +662,8 @@ class Network:
         self.graph.remove_edge(u, v)
         self._removed_edges.add(frozenset((u, v)))
         self._mutated = True
-        self.invalidate_paths()
+        self._path_cache.clear()
+        self._adjacency_drop_edge(u, v)
         if self._tracer is not None:
             self._tracer.emit(self.kernel.now, "link.down", u, other=v)
         return True
@@ -527,7 +679,8 @@ class Network:
         self._removed_edges.discard(key)
         self.graph.add_edge(u, v)
         self._mutated = True
-        self.invalidate_paths()
+        self._path_cache.clear()
+        self._adjacency_add_edge(u, v)
         if self._tracer is not None:
             self._tracer.emit(self.kernel.now, "link.up", u, other=v)
         return True
@@ -629,8 +782,9 @@ class Network:
         method; otherwise sends keep validating against the old adjacency
         and routes silently follow stale paths.  Prefer the mutators
         (:meth:`remove_node` / :meth:`restore_node` / :meth:`remove_edge` /
-        :meth:`restore_edge`), which call this themselves and additionally
-        maintain the structured-failure bookkeeping.
+        :meth:`restore_edge`), which patch the affected adjacency rows
+        incrementally (O(local degree) per event, not O(N+E)) and
+        additionally maintain the structured-failure bookkeeping.
         """
         self._path_cache.clear()
         self._rebuild_adjacency()

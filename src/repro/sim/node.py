@@ -63,11 +63,12 @@ class ProtocolNode:
         return self.network.route(Message(kind, self.node_id, dst, payload, values))
 
     def broadcast(self, kind: str, payload: Any = None, *, values: int = 1) -> int:
-        """Send a copy to every neighbour; returns the number of copies."""
-        return self.network.broadcast(
-            self.node_id,
-            lambda neighbor: Message(kind, self.node_id, neighbor, payload, values),
-        )
+        """Send a copy to every neighbour; returns the number of copies.
+
+        Routed through :meth:`Network.broadcast_values` so the array
+        engine's batched broadcast applies to every protocol node.
+        """
+        return self.network.broadcast_values(self.node_id, kind, payload, values)
 
     def set_timer(self, delay: float, callback, *args) -> Event:
         """Schedule *callback* on the shared kernel; returns a cancellable

@@ -36,12 +36,17 @@ class MessageStats:
     drops_by_reason: Counter = field(default_factory=Counter)
     # Running totals, so total_packets/total_values are O(1) — hot paths
     # (e.g. per-update cost deltas) read them once or twice per message.
-    _total_packets: int = field(default=0, repr=False, compare=False)
-    _total_values: int = field(default=0, repr=False, compare=False)
+    # Sentinel -1 means "derive from the by-kind counter once, at init";
+    # snapshot()/diff() pass the already-known totals so copying stats is
+    # O(distinct kinds) and never re-walks the counters.
+    _total_packets: int = field(default=-1, repr=False, compare=False)
+    _total_values: int = field(default=-1, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        self._total_packets = sum(self.packets_by_kind.values())
-        self._total_values = sum(self.values_by_kind.values())
+        if self._total_packets < 0:
+            self._total_packets = sum(self.packets_by_kind.values())
+        if self._total_values < 0:
+            self._total_values = sum(self.values_by_kind.values())
 
     def record(self, message: Message, hops: int = 1) -> None:
         """Charge *message* for travelling *hops* hops."""
@@ -64,6 +69,26 @@ class MessageStats:
         self.packets_by_category[category] += hops
         self.values_by_category[category] += total
         self._total_packets += hops
+        self._total_values += total
+
+    def charge_batch(self, kind: str, category: str, values: int, count: int) -> None:
+        """Charge *count* single-hop messages of identical kind/category/values.
+
+        One counter update per family instead of *count*; the totals are
+        exactly what *count* :meth:`charge` calls with ``hops=1`` would
+        accumulate.  Used by the array engine's batched broadcast, where a
+        whole neighbourhood receives the same-shaped message.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if values < 1:
+            raise ValueError(f"message must carry at least one value, got {values}")
+        total = count * values
+        self.packets_by_kind[kind] += count
+        self.values_by_kind[kind] += total
+        self.packets_by_category[category] += count
+        self.values_by_category[category] += total
+        self._total_packets += count
         self._total_values += total
 
     def record_drop(self, message: Message, reason: str) -> None:
@@ -99,10 +124,16 @@ class MessageStats:
             values_by_category=Counter(self.values_by_category),
             drops_by_kind=Counter(self.drops_by_kind),
             drops_by_reason=Counter(self.drops_by_reason),
+            _total_packets=self._total_packets,
+            _total_values=self._total_values,
         )
 
     def diff(self, earlier: "MessageStats") -> "MessageStats":
-        """Return the costs incurred since *earlier* (a prior snapshot)."""
+        """Return the costs incurred since *earlier* (a prior snapshot).
+
+        Counters only grow, so per-kind differences are non-negative and
+        the running totals subtract in O(1) — no counter re-walk.
+        """
         return MessageStats(
             packets_by_kind=self.packets_by_kind - earlier.packets_by_kind,
             values_by_kind=self.values_by_kind - earlier.values_by_kind,
@@ -110,6 +141,8 @@ class MessageStats:
             values_by_category=self.values_by_category - earlier.values_by_category,
             drops_by_kind=self.drops_by_kind - earlier.drops_by_kind,
             drops_by_reason=self.drops_by_reason - earlier.drops_by_reason,
+            _total_packets=self._total_packets - earlier._total_packets,
+            _total_values=self._total_values - earlier._total_values,
         )
 
     def reset(self) -> None:

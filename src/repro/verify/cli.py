@@ -48,6 +48,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--churn", type=int, default=0, help="link-flap events during the run (default 0)"
     )
+    parser.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default="object",
+        help="simulation engine under test (default object)",
+    )
     return parser
 
 
@@ -60,6 +66,7 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
         delta=args.delta,
         crash_fraction=args.crash,
         churn_events=args.churn,
+        engine=args.engine,
     )
 
 
@@ -69,7 +76,8 @@ def main(argv: list[str] | None = None) -> int:
     spec = _spec_from_args(args)
     label = (
         f"{spec.side * spec.side} nodes, delta={spec.delta:g}, "
-        f"crash={spec.crash_fraction:g}, churn={spec.churn_events}, seed={spec.seed}"
+        f"crash={spec.crash_fraction:g}, churn={spec.churn_events}, "
+        f"seed={spec.seed}, engine={spec.engine}"
     )
     if args.replay:
         report = replay_check(spec)

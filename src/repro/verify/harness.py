@@ -27,7 +27,7 @@ from repro.features.metrics import EuclideanMetric
 from repro.geometry.quadtree import QuadTreeDecomposition
 from repro.geometry.topology import Topology, grid_topology
 from repro.obs.trace import Tracer
-from repro.sim import EventKernel, FaultInjector, FaultPlan, Network
+from repro.sim import FaultInjector, FaultPlan, Network
 from repro.verify.runtime import verification
 
 
@@ -47,12 +47,18 @@ class ScenarioSpec:
     churn_events: int = 0
     #: ELink signalling mode; explicit exercises the episode machinery.
     signalling: str = "explicit"
+    #: Simulation engine ("object" | "array"); None follows REPRO_ENGINE.
+    #: Cross-engine byte-identity is checked by diffing traces from two
+    #: specs differing only in this field.
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.side < 2:
             raise ValueError(f"side must be >= 2, got {self.side}")
         if not 0.0 <= self.crash_fraction <= 1.0:
             raise ValueError(f"crash_fraction must be in [0, 1], got {self.crash_fraction}")
+        if self.engine not in (None, "object", "array"):
+            raise ValueError(f"engine must be 'object' or 'array', got {self.engine!r}")
 
 
 def build_scenario(
@@ -75,7 +81,7 @@ def build_scenario(
     )
     quadtree = QuadTreeDecomposition(topology)
     kappa = compute_kappa(topology.num_nodes, config.gamma)
-    network = Network(graph, EventKernel())
+    network = Network(graph, engine=spec.engine)
     # The quadtree root is protected: it anchors the explicit round cascade
     # and result collection, same as the runner's --crash path.
     plan = FaultPlan.random(

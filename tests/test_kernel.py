@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import EventKernel
+from repro.sim import EventKernel, TimerWheelKernel
 
 
 def test_events_run_in_time_order():
@@ -212,3 +212,131 @@ def test_kernel_resumes_across_fault_events():
     kernel.run()
     assert seen == ["protocol-1", "fault", "protocol-2"]
     assert kernel.now == 5.0
+
+
+# ----------------------------------------------------------------------
+# TimerWheelKernel: identical observable semantics to the heap kernel
+# ----------------------------------------------------------------------
+@pytest.fixture(params=[EventKernel, TimerWheelKernel])
+def any_kernel(request):
+    return request.param()
+
+
+def test_wheel_time_order_and_fifo(any_kernel):
+    kernel = any_kernel
+    seen = []
+    kernel.schedule(3.0, seen.append, "c")
+    kernel.schedule(1.0, seen.append, "a1")
+    kernel.post(1.0, seen.append, "a2")
+    kernel.schedule(2.0, seen.append, "b")
+    kernel.post(1.0, seen.append, "a3")
+    kernel.run()
+    assert seen == ["a1", "a2", "a3", "b", "c"]
+    assert kernel.events_executed == 5
+    assert kernel.pending == 0
+
+
+def test_wheel_interleaved_schedule_and_post_share_fifo(any_kernel):
+    kernel = any_kernel
+    seen = []
+
+    def reschedule(label):
+        seen.append(label)
+        if label == "x":
+            kernel.post(0.0, seen.append, "nested")
+
+    kernel.post(1.0, reschedule, "x")
+    kernel.schedule(1.0, seen.append, "y")
+    kernel.run()
+    # The nested 0-delay post lands at the same timestamp, after "y".
+    assert seen == ["x", "y", "nested"]
+
+
+def test_wheel_cancellation_and_pending(any_kernel):
+    kernel = any_kernel
+    seen = []
+    event = kernel.schedule(1.0, seen.append, "dead")
+    kernel.schedule(1.0, seen.append, "live")
+    event.cancel()
+    assert kernel.pending == 2  # cancelled entries stay queued until reaped
+    kernel.run()
+    assert seen == ["live"]
+    assert kernel.events_executed == 1
+    assert kernel.pending == 0
+
+
+def test_wheel_until_stops_before_later_events(any_kernel):
+    kernel = any_kernel
+    seen = []
+    kernel.schedule(1.0, seen.append, "a")
+    kernel.schedule(5.0, seen.append, "b")
+    assert kernel.run(until=2.5) == 2.5
+    assert seen == ["a"]
+    assert kernel.pending == 1
+    kernel.run()
+    assert seen == ["a", "b"]
+
+
+def test_wheel_max_events_resumable(any_kernel):
+    """max_events is checked before the pop: the offending event stays
+    queued and the kernel resumes cleanly with a larger budget."""
+    kernel = any_kernel
+    seen = []
+    for label in "abcde":
+        kernel.schedule(1.0, seen.append, label)
+    with pytest.raises(RuntimeError, match="max_events"):
+        kernel.run(max_events=2)
+    assert seen == ["a", "b"]
+    assert kernel.pending == 3
+    kernel.run()
+    assert seen == list("abcde")
+    assert kernel.events_executed == 5
+
+
+def test_wheel_step_semantics(any_kernel):
+    kernel = any_kernel
+    seen = []
+    kernel.schedule(1.0, seen.append, "a").cancel()
+    kernel.schedule(2.0, seen.append, "b")
+    assert kernel.step() is True
+    assert seen == ["b"]
+    assert kernel.step() is False
+
+
+def test_wheel_matches_heap_on_random_workload():
+    """Same pseudo-random schedule/post/cancel workload, same execution
+    order on both kernels — the (time, seq) contract end to end."""
+    import random
+
+    def drive(kernel):
+        rng = random.Random(1234)
+        seen = []
+        handles = []
+
+        def fire(tag):
+            seen.append((round(kernel.now, 6), tag))
+            if rng.random() < 0.3:
+                kernel.post(rng.choice([0.0, 1.0, 1.0, 2.5]), fire, f"{tag}+")
+
+        for k in range(60):
+            delay = rng.choice([0.0, 1.0, 1.0, 1.0, 2.0, 7.25])
+            if rng.random() < 0.5:
+                handles.append(kernel.schedule(delay, fire, f"s{k}"))
+            else:
+                kernel.post(delay, fire, f"p{k}")
+        for handle in handles[::3]:
+            handle.cancel()
+        kernel.run()
+        return seen
+
+    assert drive(EventKernel()) == drive(TimerWheelKernel())
+
+
+def test_wheel_pushes_counter_monotone():
+    kernel = TimerWheelKernel()
+    assert kernel.pushes == 0
+    kernel.post(1.0, lambda: None)
+    kernel.schedule(1.0, lambda: None)
+    assert kernel.pushes == 2
+    kernel.run()
+    assert kernel.pushes == 2  # firing does not push

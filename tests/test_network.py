@@ -312,3 +312,71 @@ def test_invalidate_paths_after_topology_change():
     network.send(Message("feature", 0, 3))
     network.run()
     assert len(nodes[3].received) == 1
+
+
+# ----------------------------------------------------------------------
+# incremental adjacency patching (both engines)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["object", "array"])
+def test_adjacency_patching_matches_full_rebuild(engine):
+    """Random crash/restore/link-flap sequences: the patched adjacency must
+    equal a from-scratch rebuild over the mutated graph, row for row."""
+    import random
+
+    rng = random.Random(99)
+    base = grid_topology(6, 6).graph
+    network = Network(base.copy(), engine=engine)
+    removed_nodes = {}
+    removed_edges = set()
+
+    for _ in range(120):
+        op = rng.choice(["crash", "restore", "down", "up"])
+        if op == "crash":
+            alive = [v for v in network.graph.nodes if network.is_alive(v)]
+            if len(alive) > 2:
+                victim = rng.choice(alive)
+                removed_nodes[victim] = network.remove_node(victim)
+        elif op == "restore" and removed_nodes:
+            victim = rng.choice(sorted(removed_nodes))
+            neighbours = [
+                v for v in removed_nodes.pop(victim) if v in network.graph.nodes
+            ]
+            network.restore_node(victim, neighbours)
+        elif op == "down":
+            edges = list(network.graph.edges)
+            if edges:
+                u, v = rng.choice(edges)
+                if network.remove_edge(u, v):
+                    removed_edges.add((u, v))
+        elif op == "up" and removed_edges:
+            u, v = rng.choice(sorted(removed_edges))
+            if u in network.graph.nodes and v in network.graph.nodes:
+                network.restore_edge(u, v)
+            removed_edges.discard((u, v))
+
+    # Rebuild over the *same* graph object: nx .copy() normalizes adjacency
+    # order (it re-adds edges lowest-node-first), so a copy is not the
+    # reference — the mutated graph's own insertion order is.
+    fresh = Network(network.graph, engine=engine)
+    assert set(network.graph.nodes) == set(fresh.graph.nodes)
+    for node in network.graph.nodes:
+        assert network._adj[node] == fresh._adj[node], node
+        assert network._adj_sets[node] == fresh._adj_sets[node], node
+    for gone in removed_nodes:
+        assert gone not in network._adj
+        assert network._adj.get(gone) is None
+
+
+@pytest.mark.parametrize("engine", ["object", "array"])
+def test_adjacency_patch_preserves_neighbour_order(engine):
+    network = Network(grid_topology(4, 4).graph.copy(), engine=engine)
+    before = network._adj[5]
+    assert network.remove_edge(5, 6)
+    after = network._adj[5]
+    # removal filters in place: surviving neighbours keep their order
+    assert after == tuple(v for v in before if v != 6)
+    network.restore_edge(5, 6)
+    # restoration appends, matching graph.adj insertion order
+    assert network._adj[5] == after + (6,)
+    fresh = Network(network.graph.copy(), engine=engine)
+    assert network._adj[5] == fresh._adj[5]

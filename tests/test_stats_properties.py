@@ -101,3 +101,52 @@ def test_snapshot_is_independent_of_source(data):
     assert (frozen.total_packets, frozen.total_values) == before
     _conserved(frozen)
     _conserved(stats)
+
+
+# ----------------------------------------------------------------------
+# charge_batch: one call == N charges; totals maintained in O(1)
+# ----------------------------------------------------------------------
+@given(
+    st.sampled_from(KINDS),
+    st.sampled_from(CATEGORIES),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=20),
+)
+@settings(derandomize=True, max_examples=60)
+def test_charge_batch_equals_repeated_charges(kind, category, values, count):
+    batched = MessageStats()
+    batched.charge_batch(kind, category, values, count)
+    looped = MessageStats()
+    for _ in range(count):
+        looped.charge(kind, category, values)
+    assert batched.snapshot() == looped.snapshot()
+    assert batched.total_packets == looped.total_packets
+    assert batched.total_values == looped.total_values
+    check_stats_conservation(batched)
+
+
+def test_charge_batch_validates_inputs():
+    import pytest
+
+    stats = MessageStats()
+    with pytest.raises(ValueError):
+        stats.charge_batch("join", "clustering", 0, 3)
+    with pytest.raises(ValueError):
+        stats.charge_batch("join", "clustering", 2, 0)
+    # failed validation must not have charged anything
+    assert stats.total_packets == 0
+    assert stats.total_values == 0
+
+
+def test_snapshot_and_diff_carry_totals_without_rederiving():
+    stats = MessageStats()
+    stats.charge("join", "clustering", 4, hops=3)
+    stats.charge_batch("probe", "repair", 1, 5)
+    snap = stats.snapshot()
+    assert snap.total_packets == stats.total_packets == 8
+    assert snap.total_values == stats.total_values == 17
+    stats.charge("update", "maintenance", 2)
+    delta = stats.snapshot().diff(snap)
+    assert delta.total_packets == 1
+    assert delta.total_values == 2
+    check_stats_conservation(delta)

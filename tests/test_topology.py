@@ -1,6 +1,7 @@
 """Tests for topologies and bounding boxes."""
 
 import networkx as nx
+import numpy as np
 import pytest
 
 from repro.geometry import (
@@ -112,3 +113,66 @@ def test_topology_requires_positions_for_all_nodes():
 def test_average_degree():
     topology = grid_topology(2, 2)
     assert topology.average_degree() == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# spatial-hash fast path (n >= SPATIAL_HASH_MIN_N)
+# ----------------------------------------------------------------------
+def test_grid_edges_match_quadratic_path():
+    """The cell grid must produce the identical edge set as the O(n²) loop
+    on the same coordinates (the range predicate is shared)."""
+    import math
+
+    from repro.geometry.topology import _range_edges_grid
+
+    n, seed = 600, 17
+    rng = np.random.default_rng(seed)
+    side = math.sqrt(n / 0.8)
+    coords = rng.uniform(0.0, side, size=(n, 2))
+    radio_range = side * math.sqrt(4.0 / (math.pi * (n - 1)))
+
+    quadratic = nx.Graph()
+    quadratic.add_nodes_from(range(n))
+    for i in range(n):
+        deltas = coords[i + 1 :] - coords[i]
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        for offset in np.nonzero(dists <= radio_range)[0]:
+            quadratic.add_edge(i, i + 1 + int(offset))
+
+    gridded = nx.Graph()
+    gridded.add_nodes_from(range(n))
+    _range_edges_grid(gridded, coords, radio_range)
+
+    assert set(map(frozenset, quadratic.edges)) == set(map(frozenset, gridded.edges))
+
+
+def test_fast_path_topology_connected_and_deterministic():
+    from repro.geometry.topology import SPATIAL_HASH_MIN_N
+
+    n = SPATIAL_HASH_MIN_N  # smallest size that takes the fast path
+    first = random_geometric_topology(n, seed=5)
+    second = random_geometric_topology(n, seed=5)
+    assert first.is_connected()
+    assert first.num_nodes == n
+    assert list(first.graph.edges) == list(second.graph.edges)
+    # degree stays at the paper's target despite the different stitcher
+    assert 3.0 < first.average_degree() < 5.0
+
+
+def test_centroid_mst_stitcher_connects_fragments():
+    from repro.geometry.topology import _stitch_components_grid
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(9))
+    # three triangles, far apart
+    coords = []
+    for cluster, origin in enumerate([(0.0, 0.0), (10.0, 0.0), (5.0, 12.0)]):
+        base = cluster * 3
+        graph.add_edges_from([(base, base + 1), (base + 1, base + 2), (base, base + 2)])
+        for k in range(3):
+            coords.append((origin[0] + 0.1 * k, origin[1] + 0.05 * k))
+    coords = np.asarray(coords)
+    _stitch_components_grid(graph, coords)
+    assert nx.is_connected(graph)
+    # exactly one stitch edge per MST edge over 3 components
+    assert graph.number_of_edges() == 9 + 2
