@@ -12,6 +12,7 @@ Usage (also available as ``python -m repro``):
     repro trace chaos.jsonl --repairs
     repro verify --replay --n 49 --crash 0.08 --seed 11
     repro cache stats --dir .repro-cache
+    repro serve --n 48 --rounds 120 --checkpoint-dir ckpt --checkpoint-every 5s
     repro info
 
 ``cluster`` runs any of the clustering algorithms on a generated dataset,
@@ -24,7 +25,9 @@ runs the correctness oracle — invariant-monitored chaos runs and the
 ``--replay`` determinism differ (see docs/ARCHITECTURE.md,
 "Verification"); ``cache`` inspects or clears the content-addressed
 artifact cache used by the experiment runner's ``--cache`` flag (see
-docs/ARCHITECTURE.md, "Performance layer").
+docs/ARCHITECTURE.md, "Performance layer"); ``serve`` runs the
+long-running supervised clustering service — streaming ingest,
+checkpoint/restore, chaos hooks and a query API (see docs/SERVING.md).
 """
 
 from __future__ import annotations
@@ -92,15 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help="fig08..fig15, complexity, path_query, or 'all'")
     experiment.add_argument("--quick", action="store_true")
 
-    # Listed here for --help; 'trace', 'verify' and 'cache' are dispatched
-    # before this parser runs because each owns its own argument set
-    # (repro.obs.inspect / repro.verify.cli / repro.perf.cli).
+    # Listed here for --help; 'trace', 'verify', 'cache' and 'serve' are
+    # dispatched before this parser runs because each owns its own argument
+    # set (repro.obs.inspect / repro.verify.cli / repro.perf.cli /
+    # repro.serve.cli).
     commands.add_parser("trace", help="inspect a JSONL protocol trace", add_help=False)
     commands.add_parser(
         "verify", help="run the correctness oracle (invariants / --replay differ)", add_help=False
     )
     commands.add_parser(
         "cache", help="inspect or clear the artifact cache (stats / clear)", add_help=False
+    )
+    commands.add_parser(
+        "serve", help="run the resilient live clustering service", add_help=False
     )
 
     commands.add_parser("info", help="print version and system inventory")
@@ -122,6 +129,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.cli import main as cache_main
 
         return cache_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "cluster":
         return _cmd_cluster(args)

@@ -349,6 +349,68 @@ class MaintenanceSession:
                 self._charge("update", 1, 1)
 
     # ------------------------------------------------------------------
+    # checkpointing (used by the live serving layer, repro.serve)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete session state as plain dicts/arrays, for checkpointing.
+
+        Round-trips exactly through :meth:`from_state`: a restored session
+        absorbs the same future update stream into the same final state,
+        which is what the serve layer's kill-and-resume equivalence check
+        relies on.  The communication graph and metric are *not* part of
+        the state — the restorer supplies them (they are derivable from
+        the service configuration).
+        """
+        return {
+            "delta": self.delta,
+            "slack": self.slack,
+            "features": {n: f.copy() for n, f in self.features.items()},
+            "assignment": dict(self.assignment),
+            "parent": dict(self.parent),
+            "root_features": {r: f.copy() for r, f in self.root_features.items()},
+            "stored_root": {n: f.copy() for n, f in self.stored_root.items()},
+            "root_anchor": {r: f.copy() for r, f in self._root_anchor.items()},
+            "values_by_kind": dict(self.stats.values_by_kind),
+            "packets_by_kind": dict(self.stats.packets_by_kind),
+            "values_by_category": dict(self.stats.values_by_category),
+            "packets_by_category": dict(self.stats.packets_by_category),
+        }
+
+    @classmethod
+    def from_state(cls, graph: nx.Graph, metric: Metric, state: dict) -> "MaintenanceSession":
+        """Reconstruct a session from a :meth:`state_dict` snapshot."""
+        session = cls.__new__(cls)
+        session.graph = graph
+        session.metric = metric
+        session.delta = float(state["delta"])
+        session.slack = float(state["slack"])
+        session.stats = MessageStats()
+        session.stats.packets_by_kind.update(state["packets_by_kind"])
+        session.stats.values_by_kind.update(state["values_by_kind"])
+        session.stats.packets_by_category.update(state["packets_by_category"])
+        session.stats.values_by_category.update(state["values_by_category"])
+        session.stats._total_packets = sum(session.stats.packets_by_kind.values())
+        session.stats._total_values = sum(session.stats.values_by_kind.values())
+        session.features = {
+            n: np.asarray(f, dtype=np.float64).copy() for n, f in state["features"].items()
+        }
+        session.assignment = dict(state["assignment"])
+        session.parent = dict(state["parent"])
+        session.root_features = {
+            r: np.asarray(f, dtype=np.float64).copy()
+            for r, f in state["root_features"].items()
+        }
+        session.stored_root = {
+            n: np.asarray(f, dtype=np.float64).copy()
+            for n, f in state["stored_root"].items()
+        }
+        session._root_anchor = {
+            r: np.asarray(f, dtype=np.float64).copy()
+            for r, f in state["root_anchor"].items()
+        }
+        return session
+
+    # ------------------------------------------------------------------
     # accounting helpers
     # ------------------------------------------------------------------
     def _tree_hops(self, node: Hashable) -> int:

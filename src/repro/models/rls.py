@@ -103,6 +103,37 @@ class RecursiveLeastSquares:
         self._updates += design.shape[0]
         return self.coefficients
 
+    # ------------------------------------------------------------------
+    # checkpointing (used by the live serving layer, repro.serve)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete estimator state as plain arrays, for checkpointing.
+
+        The returned dict round-trips bit-exactly through
+        :meth:`from_state`: a restored estimator continues the update
+        recursion from the identical ``P`` matrix and coefficients, which
+        is what makes kill-and-resume runs byte-equivalent.
+        """
+        return {
+            "order": self.order,
+            "coefficients": self._coefficients.copy(),
+            "p": self._p.copy(),
+            "updates": self._updates,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RecursiveLeastSquares":
+        """Reconstruct an estimator from a :meth:`state_dict` snapshot."""
+        rls = cls(int(state["order"]))
+        coefficients = np.asarray(state["coefficients"], dtype=np.float64)
+        p = np.asarray(state["p"], dtype=np.float64)
+        if coefficients.shape != (rls.order,) or p.shape != (rls.order, rls.order):
+            raise ValueError("state arrays do not match the stored order")
+        rls._coefficients = coefficients.copy()
+        rls._p = p.copy()
+        rls._updates = int(state["updates"])
+        return rls
+
     def __repr__(self) -> str:
         return (
             f"RecursiveLeastSquares(order={self.order}, updates={self._updates}, "

@@ -15,7 +15,11 @@ questions a misbehaving run raises:
   (:meth:`TraceInspector.drop_summary`);
 - *how fast did repair happen?* — per crashed node: crash time, first
   detection (orphan re-rooting / sentinel takeover), first repair notice,
-  and the crash→repair latency (:meth:`TraceInspector.repair_report`).
+  and the crash→repair latency (:meth:`TraceInspector.repair_report`);
+- *what did the live service endure?* — for traces from ``repro serve``:
+  stage restarts, shed/backpressure episodes, source retries and stalls,
+  checkpoint write/restore activity, and degraded-coverage windows with
+  their recovery times (:meth:`TraceInspector.serve_report`).
 
 CLI usage::
 
@@ -24,6 +28,7 @@ CLI usage::
     python -m repro trace run.jsonl --type msg.drop  # filter by type
     python -m repro trace run.jsonl --since 10 --until 40 --prefix elink.
     python -m repro trace run.jsonl --drops --repairs
+    python -m repro trace serve.jsonl --serve        # live-service rollup
 """
 
 from __future__ import annotations
@@ -36,8 +41,10 @@ from typing import Any, Iterable, Sequence
 from repro.obs.trace import TraceEvent, Tracer
 
 #: Payload keys that reference other nodes; used to pull an event into the
-#: timeline of every node it mentions, not just its subject.
-_NODE_REF_KEYS = ("src", "dst", "via", "dead", "by", "root", "owner")
+#: timeline of every node it mentions, not just its subject.  ``stage``,
+#: ``source`` and ``reading_node`` are the serving layer's subjects
+#: (``serve.*`` events), so ``--node ingest:src-0`` works too.
+_NODE_REF_KEYS = ("src", "dst", "via", "dead", "by", "root", "owner", "stage", "source", "reading_node")
 
 #: Event types marking the first protocol-level *detection* of a crash.
 _DETECTION_TYPES = {"elink.orphan", "elink.takeover"}
@@ -169,6 +176,153 @@ class TraceInspector:
             r["latency"] for r in self.repair_report() if r["latency"] is not None
         ]
 
+    def serve_report(self) -> dict[str, Any] | None:
+        """Rollup of the ``serve.*`` event family, or None if absent.
+
+        Summarizes what the resilience machinery of a live service run
+        actually did: stage crashes/restarts/giveups per supervised
+        stage, shed and backpressure episodes per queue, source
+        retries/stalls/malformed readings per ingest source, checkpoint
+        write/restore/reject activity, degraded-coverage episodes
+        (paired ``serve.degraded`` → ``serve.recovered``, with the
+        coverage floor each reached), and the run's lifecycle endpoints
+        (resume, drain reason, exit code).
+        """
+        serve = [e for e in self.events if e.type.startswith("serve.")]
+        if not serve:
+            return None
+        report: dict[str, Any] = {
+            "events": len(serve),
+            "resumed": None,
+            "drain": None,
+            "exit": None,
+            "stage_crashes": Counter(),
+            "stage_giveups": [],
+            "shed_episodes": Counter(),
+            "shed_total": Counter(),
+            "backpressure_episodes": Counter(),
+            "source_retries": Counter(),
+            "source_stalls": Counter(),
+            "malformed": Counter(),
+            "checkpoint_writes": 0,
+            "checkpoint_last_seq": None,
+            "checkpoint_restores": 0,
+            "checkpoint_rejected": 0,
+            "degraded_episodes": [],
+        }
+        open_degraded: dict[str, Any] | None = None
+        for event in serve:
+            kind = event.type[len("serve."):]
+            data = event.data
+            if kind == "resumed":
+                report["resumed"] = {"time": event.time, "seq": data.get("seq")}
+            elif kind == "drain":
+                report["drain"] = {"time": event.time, "reason": data.get("reason")}
+            elif kind == "exit":
+                report["exit"] = {
+                    "time": event.time,
+                    "code": data.get("code"),
+                    "reason": data.get("reason"),
+                }
+            elif kind == "stage_crash":
+                report["stage_crashes"][data.get("stage")] += 1
+            elif kind == "stage_giveup":
+                report["stage_giveups"].append(data.get("stage"))
+            elif kind == "shed_episode":
+                report["shed_episodes"][event.node] += 1
+                report["shed_total"][event.node] += data.get("count", 0)
+            elif kind == "backpressure":
+                report["backpressure_episodes"][event.node] += 1
+            elif kind == "source_retry":
+                report["source_retries"][data.get("source")] += 1
+            elif kind == "source_stall":
+                report["source_stalls"][data.get("source")] += 1
+            elif kind == "reading_malformed":
+                report["malformed"][data.get("source")] += 1
+            elif kind == "checkpoint_write":
+                report["checkpoint_writes"] += 1
+                report["checkpoint_last_seq"] = data.get("seq")
+            elif kind == "checkpoint_restore":
+                report["checkpoint_restores"] += 1
+            elif kind == "checkpoint_rejected":
+                report["checkpoint_rejected"] += 1
+            elif kind == "degraded":
+                if open_degraded is None:
+                    open_degraded = {
+                        "start": event.time,
+                        "end": None,
+                        "duration": None,
+                        "floor": data.get("coverage"),
+                    }
+                    report["degraded_episodes"].append(open_degraded)
+                else:
+                    floor = data.get("coverage")
+                    if floor is not None and (
+                        open_degraded["floor"] is None or floor < open_degraded["floor"]
+                    ):
+                        open_degraded["floor"] = floor
+            elif kind == "recovered" and open_degraded is not None:
+                open_degraded["end"] = event.time
+                open_degraded["duration"] = event.time - open_degraded["start"]
+                open_degraded = None
+        return report
+
+    def serve_text(self) -> str:
+        """Render the ``serve.*`` rollup (see :meth:`serve_report`)."""
+        report = self.serve_report()
+        if report is None:
+            return "no serve.* events in trace"
+        lines = [f"serve: {report['events']} events"]
+        if report["resumed"] is not None:
+            lines.append(
+                f"  resumed from checkpoint at t={report['resumed']['time']:.2f} "
+                f"(seq {report['resumed']['seq']})"
+            )
+        crashes = report["stage_crashes"]
+        if crashes:
+            per_stage = ", ".join(f"{s}={c}" for s, c in sorted(crashes.items(), key=lambda kv: str(kv[0])))
+            lines.append(f"  stage crashes/restarts: {sum(crashes.values())} ({per_stage})")
+        for stage in report["stage_giveups"]:
+            lines.append(f"  stage GAVE UP (crash budget exhausted): {stage}")
+        for name, episodes in sorted(report["shed_episodes"].items(), key=lambda kv: str(kv[0])):
+            lines.append(
+                f"  shed: {report['shed_total'][name]} readings over "
+                f"{episodes} episode(s) on {name!r}"
+            )
+        for name, episodes in sorted(report["backpressure_episodes"].items(), key=lambda kv: str(kv[0])):
+            lines.append(f"  backpressure: {episodes} episode(s) on {name!r}")
+        for source, count in sorted(report["source_retries"].items(), key=lambda kv: str(kv[0])):
+            lines.append(f"  source retries: {count} on {source!r}")
+        for source, count in sorted(report["source_stalls"].items(), key=lambda kv: str(kv[0])):
+            lines.append(f"  source stalls: {count} on {source!r}")
+        for source, count in sorted(report["malformed"].items(), key=lambda kv: str(kv[0])):
+            lines.append(f"  malformed readings: {count} from {source!r}")
+        if report["checkpoint_writes"] or report["checkpoint_restores"] or report["checkpoint_rejected"]:
+            lines.append(
+                f"  checkpoints: {report['checkpoint_writes']} written "
+                f"(last seq {report['checkpoint_last_seq']}), "
+                f"{report['checkpoint_restores']} restored, "
+                f"{report['checkpoint_rejected']} rejected"
+            )
+        for episode in report["degraded_episodes"]:
+            floor = episode["floor"]
+            floor_text = f"coverage floor {floor:.3f}" if floor is not None else "coverage floor ?"
+            if episode["end"] is not None:
+                lines.append(
+                    f"  degraded t=[{episode['start']:.2f}, {episode['end']:.2f}] "
+                    f"({episode['duration']:.2f}s, {floor_text}) — recovered"
+                )
+            else:
+                lines.append(
+                    f"  degraded from t={episode['start']:.2f} ({floor_text}) — NOT recovered"
+                )
+        if report["exit"] is not None:
+            lines.append(
+                f"  exit {report['exit']['code']} ({report['exit']['reason']}) "
+                f"at t={report['exit']['time']:.2f}"
+            )
+        return "\n".join(lines)
+
     # -- rendering ------------------------------------------------------
     def summary_text(self) -> str:
         """Human-readable run summary (the default CLI output)."""
@@ -201,6 +355,8 @@ class TraceInspector:
                     else ""
                 ),
             ]
+        if self.serve_report() is not None:
+            lines += ["", self.serve_text()]
         return "\n".join(lines)
 
     def timeline_text(self, node: Any, limit: int | None = None) -> str:
@@ -282,6 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--limit", type=int, default=100, help="max timeline lines (default 100)")
     parser.add_argument("--drops", action="store_true", help="print only the drop summary")
     parser.add_argument("--repairs", action="store_true", help="print the crash/repair table")
+    parser.add_argument(
+        "--serve", action="store_true", help="print the serve.* rollup (live service runs)"
+    )
     return parser
 
 
@@ -308,6 +467,9 @@ def main(argv: list[str] | None = None) -> int:
             printed = True
         if args.repairs:
             print(inspector.repair_text())
+            printed = True
+        if args.serve:
+            print(inspector.serve_text())
             printed = True
         if args.node is not None:
             print(inspector.timeline_text(_parse_node(args.node), limit=args.limit))

@@ -24,6 +24,13 @@ safe under concurrent pool workers.  Total size is bounded
 least-recently-used entries first, where "used" is the file mtime
 refreshed on every hit.
 
+The cache is a **best-effort accelerator and must never take the caller
+down**: transient ``OSError`` during the atomic publish is retried with
+exponential backoff and then *swallowed* (counted in ``write_failures``
+— the artifact is simply recomputed next time), and an entry that fails
+to unpickle is quarantined (renamed to ``<key>.corrupt``) so one corrupt
+file cannot crash — or repeatedly slow down — a long-running service.
+
 ``python -m repro cache`` (see :mod:`repro.perf.cli`) prints statistics
 or clears the directory.
 """
@@ -37,6 +44,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
@@ -50,6 +58,9 @@ CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 DEFAULT_MAX_BYTES = 1 << 30
 #: Bump to invalidate every entry at once (key-schema version).
 _KEY_SCHEMA = 1
+#: Atomic-publish retry envelope for transient filesystem errors.
+_WRITE_RETRIES = 3
+_WRITE_RETRY_BASE = 0.02
 
 _OPEN_CACHES: dict[tuple[str, int], "ArtifactCache"] = {}
 
@@ -120,6 +131,10 @@ class ArtifactCache:
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.write_failures = 0
+        self.quarantined = 0
+        # Injectable sleep so tests exercise the retry path instantly.
+        self._retry_sleep: Callable[[float], None] = time.sleep
 
     # ------------------------------------------------------------------
     # core get/put
@@ -128,13 +143,24 @@ class ArtifactCache:
         return self.directory / f"{key}.pkl"
 
     def get(self, key: str) -> tuple[bool, Any]:
-        """(hit, value); a hit refreshes the entry's LRU timestamp."""
+        """(hit, value); a hit refreshes the entry's LRU timestamp.
+
+        An entry that fails to unpickle (truncated write, version skew,
+        disk corruption) is a **miss, never a crash**: the file is
+        quarantined — renamed to ``<key>.corrupt``, out of the key space
+        — so the artifact is recomputed once instead of tripping every
+        future lookup.
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        except OSError:
             self.misses += 1
+            return False, None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, MemoryError):
+            self.misses += 1
+            self._quarantine(path)
             return False, None
         try:
             os.utime(path)
@@ -143,21 +169,45 @@ class ArtifactCache:
         self.hits += 1
         return True, value
 
-    def put(self, key: str, value: Any) -> None:
-        """Store *value* atomically, then evict down to the size bound."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+    def _quarantine(self, path: Path) -> None:
         try:
+            os.replace(path, path.with_suffix(".corrupt"))
+            self.quarantined += 1
+        except OSError:
+            pass  # already removed by eviction or a concurrent worker
+
+    def put(self, key: str, value: Any) -> None:
+        """Store *value* atomically, then evict down to the size bound.
+
+        Best-effort: a transient ``OSError`` during the atomic publish is
+        retried with exponential backoff; a persistent one is swallowed
+        (counted in ``write_failures``) — callers always keep their
+        computed value, the entry just stays cold.
+        """
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
-            os.replace(tmp_name, self._path(key))
         except OSError:
+            self.write_failures += 1
+            return
+        try:
+            for attempt in range(_WRITE_RETRIES + 1):
+                try:
+                    os.replace(tmp_name, self._path(key))
+                    break
+                except OSError:
+                    if attempt == _WRITE_RETRIES:
+                        self.write_failures += 1
+                        return
+                    self._retry_sleep(_WRITE_RETRY_BASE * 2**attempt)
+        finally:
             try:
                 os.unlink(tmp_name)
             except OSError:
-                pass
-            raise
+                pass  # already renamed into place (the success path)
         self._evict()
 
     def get_or_compute(
@@ -218,6 +268,8 @@ class ArtifactCache:
             "max_bytes": self.max_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "write_failures": self.write_failures,
+            "quarantined": self.quarantined,
         }
 
     def clear(self) -> int:

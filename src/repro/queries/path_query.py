@@ -40,8 +40,14 @@ from repro._validation import require_non_negative
 from repro.core.delta import Clustering
 from repro.features.metrics import Metric
 from repro.index.mtree import MTreeIndex
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.messages import CATEGORY_QUERY, Message
 from repro.sim.stats import MessageStats
+
+#: Drop reasons recorded by the degraded-mode path-query paths.
+DROP_DEAD_ROOT = "dead_root"
+DROP_DEAD_ENDPOINT = "dead_endpoint"
+DROP_NO_SURVIVORS = "no_survivors"
 
 
 @dataclass
@@ -55,6 +61,9 @@ class PathQueryResult:
     #: Fraction of surviving nodes whose cluster the query could classify
     #: (1.0 unless crashes removed cluster representatives).
     coverage: float = 1.0
+    #: Query deliveries dropped on degraded paths (dead roots/endpoints);
+    #: per-reason detail is mirrored into the engine's metrics registry.
+    drops: int = 0
 
 
 class PathQueryEngine:
@@ -66,6 +75,12 @@ class PathQueryEngine:
     as uncovered and the result carries a coverage fraction instead of a
     crash.  Dead nodes are never part of a returned path.  ``dead`` defaults
     to empty: the fault-free path is untouched.
+
+    Degraded-path losses are recorded in the per-query ``MessageStats``
+    under ``drops_by_reason`` (``dead_root`` / ``dead_endpoint`` /
+    ``no_survivors``) and mirrored into ``queries.drops.<reason>``
+    counters when a *metrics* registry is supplied, so both accounting
+    systems agree.
     """
 
     def __init__(
@@ -77,6 +92,7 @@ class PathQueryEngine:
         mtree: MTreeIndex,
         *,
         dead: "set[Hashable] | frozenset[Hashable] | None" = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.graph = graph
         self.clustering = clustering
@@ -84,6 +100,7 @@ class PathQueryEngine:
         self.metric = metric
         self.mtree = mtree
         self._dead = frozenset(dead) if dead else frozenset()
+        self._metrics = metrics
         self._dim = int(next(iter(self.features.values())).shape[0])
 
     # ------------------------------------------------------------------
@@ -100,6 +117,13 @@ class PathQueryEngine:
         stats = MessageStats()
         query_values = self._dim + 1
 
+        # A dead endpoint can neither issue the query nor terminate the
+        # path: answer "no path" with zero coverage instead of silently
+        # classifying clusters for an unanswerable question.
+        if self._dead and (source in self._dead or destination in self._dead):
+            self._drop(stats, DROP_DEAD_ENDPOINT)
+            return PathQueryResult(None, 0, 0, 0, 0.0, stats.total_drops)
+
         # Source routes the query to its cluster root.
         entry_hops = len(self.clustering.path_to_root(source)) - 1
         if entry_hops:
@@ -108,7 +132,7 @@ class PathQueryEngine:
         safe_nodes, drilled, coverage = self._classify(danger, gamma, stats, query_values)
         if source not in safe_nodes or destination not in safe_nodes:
             return PathQueryResult(
-                None, stats.total_values, len(safe_nodes), drilled, coverage
+                None, stats.total_values, len(safe_nodes), drilled, coverage, stats.total_drops
             )
 
         # Safe regions: connected components of the safe-induced subgraph.
@@ -116,7 +140,7 @@ class PathQueryEngine:
         component = nx.node_connected_component(safe_sub, source)
         if destination not in component:
             return PathQueryResult(
-                None, stats.total_values, len(safe_nodes), drilled, coverage
+                None, stats.total_values, len(safe_nodes), drilled, coverage, stats.total_drops
             )
 
         # Region-level BFS along the safe backbone: charge the query once
@@ -128,7 +152,7 @@ class PathQueryEngine:
         path = nx.shortest_path(safe_sub.subgraph(component), source, destination)
         self._charge(stats, 1, len(path) - 1)
         return PathQueryResult(
-            list(path), stats.total_values, len(safe_nodes), drilled, coverage
+            list(path), stats.total_values, len(safe_nodes), drilled, coverage, stats.total_drops
         )
 
     # ------------------------------------------------------------------
@@ -151,6 +175,8 @@ class PathQueryEngine:
         uncovered = 0
         for root in self.clustering.roots:
             if dead and root in dead:
+                # The classification request to this root is undeliverable.
+                self._drop(stats, DROP_DEAD_ROOT)
                 uncovered += sum(
                     1 for m in self.clustering.members(root) if m not in dead
                 )
@@ -175,6 +201,11 @@ class PathQueryEngine:
             )
             if alive_total:
                 coverage = 1.0 - uncovered / alive_total
+            else:
+                # Zero survivors: nothing was (or could be) classified —
+                # 0.0, never the vacuous 1.0 this case used to report.
+                self._drop(stats, DROP_NO_SURVIVORS)
+                coverage = 0.0
         return safe, drilled, coverage
 
     def _drill(
@@ -222,6 +253,12 @@ class PathQueryEngine:
     def _charge(stats: MessageStats, values: int, hops: int) -> None:
         if hops > 0:
             stats.charge("query", CATEGORY_QUERY, values, hops)
+
+    def _drop(self, stats: MessageStats, reason: str) -> None:
+        """Record one degraded-path drop in both accounting systems."""
+        stats.drop("query", reason)
+        if self._metrics is not None:
+            self._metrics.counter(f"queries.drops.{reason}").inc()
 
 
 def maximin_safe_path(

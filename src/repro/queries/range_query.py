@@ -41,8 +41,14 @@ from repro.core.delta import Clustering
 from repro.features.metrics import Metric
 from repro.index.backbone import BackboneTree
 from repro.index.mtree import MTreeIndex
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.messages import CATEGORY_QUERY
 from repro.sim.stats import MessageStats
+
+#: Drop reasons recorded by the degraded-mode query paths.
+DROP_DEAD_RELAY = "dead_relay"
+DROP_DEAD_ROOT = "dead_root"
+DROP_NO_SURVIVORS = "no_survivors"
 
 
 @dataclass
@@ -57,6 +63,9 @@ class RangeQueryResult:
     #: Fraction of surviving nodes whose cluster the query could consult
     #: (1.0 unless crashes severed parts of the backbone).
     coverage: float = 1.0
+    #: Query deliveries dropped on degraded paths (dead relays/roots);
+    #: per-reason detail is mirrored into the engine's metrics registry.
+    drops: int = 0
 
 
 class RangeQueryEngine:
@@ -75,6 +84,13 @@ class RangeQueryEngine:
     the old covering radius keeps the triangle-inequality exclusions
     sound).  Both parameters default to empty: the fault-free path is
     untouched.
+
+    Every degraded-path loss is accounted twice over, consistently: the
+    per-query ``MessageStats`` records it under ``drops_by_reason``
+    (``dead_relay`` / ``dead_root`` / ``no_survivors``) and, when a
+    *metrics* registry is supplied, the same reasons increment
+    ``queries.drops.<reason>`` counters — so a service-level registry and
+    the per-query stats always agree.
     """
 
     def __init__(
@@ -87,12 +103,14 @@ class RangeQueryEngine:
         *,
         dead: "set[Hashable] | frozenset[Hashable] | None" = None,
         root_replacements: Mapping[Hashable, Hashable] | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.clustering = clustering
         self.features = {k: np.asarray(v, dtype=np.float64) for k, v in features.items()}
         self.metric = metric
         self.mtree = mtree
         self.backbone = backbone
+        self._metrics = metrics
         self._dead = frozenset(dead) if dead else frozenset()
         self._replacements = dict(root_replacements) if root_replacements else {}
         self._replaced_by = {repl: orig for orig, repl in self._replacements.items()}
@@ -172,6 +190,8 @@ class RangeQueryEngine:
                     continue
                 seen.add(neighbor)
                 if dead and neighbor in dead:
+                    # The query copy toward this relay is undeliverable.
+                    self._drop(stats, DROP_DEAD_RELAY)
                     lost_roots.update(self._side_roots(current, neighbor))
                     continue
                 center, ball_radius = self._ball_toward(current, neighbor)
@@ -204,7 +224,13 @@ class RangeQueryEngine:
             matches.difference_update(dead)
         coverage = self._coverage_after_losses(lost_roots)
         return RangeQueryResult(
-            matches, stats.total_values, pruned, included, descended, coverage
+            matches,
+            stats.total_values,
+            pruned,
+            included,
+            descended,
+            coverage,
+            stats.total_drops,
         )
 
     # ------------------------------------------------------------------
@@ -266,6 +292,7 @@ class RangeQueryEngine:
         query_values: int,
     ) -> RangeQueryResult:
         """Answer from the initiator's own surviving cluster members."""
+        self._drop(stats, DROP_DEAD_ROOT)
         alive = [
             m for m in self.clustering.members(origin_root) if m not in self._dead
         ]
@@ -279,7 +306,14 @@ class RangeQueryEngine:
         # A fully-dead network covers nothing — 0.0, never 1.0 (a 0/0 here
         # used to claim full coverage for an unanswerable query).
         coverage = len(alive) / alive_total if alive_total else 0.0
-        return RangeQueryResult(matches, stats.total_values, 0, 0, 1, coverage)
+        # Only count a descent when surviving members actually answered;
+        # an empty cluster consulted nothing (this used to report 1).
+        descended = 1 if alive else 0
+        if not alive:
+            self._drop(stats, DROP_NO_SURVIVORS)
+        return RangeQueryResult(
+            matches, stats.total_values, 0, 0, descended, coverage, stats.total_drops
+        )
 
     # ------------------------------------------------------------------
     def _descend(
@@ -328,6 +362,12 @@ class RangeQueryEngine:
     def _charge(stats: MessageStats, values: int, hops: int) -> None:
         if hops > 0:
             stats.charge("query", CATEGORY_QUERY, values, hops)
+
+    def _drop(self, stats: MessageStats, reason: str) -> None:
+        """Record one degraded-path drop in both accounting systems."""
+        stats.drop("query", reason)
+        if self._metrics is not None:
+            self._metrics.counter(f"queries.drops.{reason}").inc()
 
 
 def brute_force_range(

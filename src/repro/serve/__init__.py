@@ -1,0 +1,73 @@
+"""The resilient live clustering service (``repro serve``).
+
+Turns the batch reproduction into a long-running, supervised process:
+streaming ingest with bounded, backpressured queues; RLS model updates
+driving incremental re-clustering through the slack-Δ maintenance
+protocol; periodic atomic checkpoints with kill-and-resume equivalence;
+a staleness-bounded query API; and seed-deterministic chaos hooks.
+
+Layer map (each module's docstring carries the detail):
+
+- :mod:`repro.serve.context` — shared clock + tracer + metrics handle
+- :mod:`repro.serve.readings` — replayable reading sources
+- :mod:`repro.serve.broker` — in-process pub/sub with backpressure
+- :mod:`repro.serve.ingest` — supervised per-source intake stages
+- :mod:`repro.serve.pipeline` — the clustering state machine
+- :mod:`repro.serve.supervisor` — restart-with-backoff + crash budget
+- :mod:`repro.serve.checkpoint` — atomic versioned checkpoints
+- :mod:`repro.serve.chaos` — service-level fault-plan execution
+- :mod:`repro.serve.api` — range/path/snapshot/healthz query surface
+- :mod:`repro.serve.service` — lifecycle orchestration
+- :mod:`repro.serve.cli` — the ``repro serve`` command
+
+See docs/SERVING.md for the lifecycle diagram and runbooks.
+"""
+
+from repro.serve.api import ApiServer, NotReadyError, QueryService
+from repro.serve.broker import POLICY_BLOCK, POLICY_SHED_OLDEST, Broker, Subscription
+from repro.serve.chaos import ChaosDriver
+from repro.serve.checkpoint import CHECKPOINT_SCHEMA, CheckpointManager
+from repro.serve.context import ServeContext
+from repro.serve.ingest import READINGS_TOPIC, IngestStage
+from repro.serve.pipeline import ClusteringPipeline, snapshots_equal
+from repro.serve.readings import (
+    FileSource,
+    Reading,
+    ReplaySource,
+    ReplaySpec,
+    ReplayStream,
+    TransientSourceError,
+)
+from repro.serve.service import EXIT_FAILED, EXIT_OK, ClusteringService, ServiceConfig
+from repro.serve.supervisor import StageCrash, StageSpec, Supervisor
+
+__all__ = [
+    "ApiServer",
+    "Broker",
+    "CHECKPOINT_SCHEMA",
+    "ChaosDriver",
+    "CheckpointManager",
+    "ClusteringPipeline",
+    "ClusteringService",
+    "EXIT_FAILED",
+    "EXIT_OK",
+    "FileSource",
+    "IngestStage",
+    "NotReadyError",
+    "POLICY_BLOCK",
+    "POLICY_SHED_OLDEST",
+    "QueryService",
+    "READINGS_TOPIC",
+    "Reading",
+    "ReplaySource",
+    "ReplaySpec",
+    "ReplayStream",
+    "ServeContext",
+    "ServiceConfig",
+    "StageCrash",
+    "StageSpec",
+    "Subscription",
+    "Supervisor",
+    "TransientSourceError",
+    "snapshots_equal",
+]

@@ -1,0 +1,207 @@
+"""Query API: range/path/snapshot/healthz over the live clustering state.
+
+:class:`QueryService` answers queries against index structures (M-tree +
+backbone) built lazily from the pipeline's maintenance state and rebuilt
+under an explicit **staleness bound**: a query is never answered from
+engines more than ``staleness_updates`` maintenance updates behind the
+live state, and every response reports how stale its view actually was.
+Before the bootstrap clustering exists, queries return a structured
+``not_ready`` error rather than blocking.
+
+:class:`ApiServer` exposes the same operations over a newline-delimited
+JSON TCP protocol (``{"op": "range", "q": [...], "radius": ...}`` in,
+one JSON object out per line) — `/healthz`-style liveness included — so
+a running service can be probed with nothing but a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.index.backbone import build_backbone
+from repro.index.mtree import build_mtree
+from repro.queries.path_query import PathQueryEngine
+from repro.queries.range_query import RangeQueryEngine
+from repro.serve.context import ServeContext
+from repro.serve.pipeline import ClusteringPipeline
+
+
+class NotReadyError(RuntimeError):
+    """Raised when queries arrive before the bootstrap clustering exists."""
+
+
+class QueryService:
+    """Answers queries from staleness-bounded snapshots of pipeline state.
+
+    Parameters
+    ----------
+    pipeline:
+        The live pipeline (read-only access; asyncio's single thread
+        means state is consistent between awaits).
+    staleness_updates:
+        Maximum maintenance updates the query engines may lag the live
+        state before they are rebuilt.
+    health:
+        Optional callable returning the service's ``/healthz`` payload.
+    """
+
+    def __init__(
+        self,
+        pipeline: ClusteringPipeline,
+        ctx: ServeContext,
+        *,
+        staleness_updates: int = 500,
+        health: Callable[[], dict[str, Any]] | None = None,
+    ):
+        self.pipeline = pipeline
+        self.ctx = ctx
+        self.staleness_updates = staleness_updates
+        self._health = health
+        self._built_version = -1
+        self._range: RangeQueryEngine | None = None
+        self._path: PathQueryEngine | None = None
+        self._by_name: dict[str, Hashable] = {str(n): n for n in pipeline.nodes}
+        self.rebuilds = 0
+
+    def _resolve(self, name: Any) -> Hashable:
+        node = self._by_name.get(str(name))
+        if node is None:
+            raise KeyError(f"unknown node {name!r}")
+        return node
+
+    def _engines(self) -> tuple[RangeQueryEngine, PathQueryEngine]:
+        session = self.pipeline.session
+        if session is None:
+            raise NotReadyError("clustering not bootstrapped yet")
+        behind = self.pipeline.version - self._built_version
+        if self._range is None or behind > self.staleness_updates:
+            clustering = session.current_clustering()
+            features = session.features
+            metric = self.pipeline.metric
+            mtree = build_mtree(clustering, features, metric)
+            backbone = build_backbone(self.pipeline.graph, clustering)
+            self._range = RangeQueryEngine(
+                clustering, features, metric, mtree, backbone, metrics=self.ctx.metrics
+            )
+            self._path = PathQueryEngine(
+                self.pipeline.graph, clustering, features, metric, mtree,
+                metrics=self.ctx.metrics,
+            )
+            self._built_version = self.pipeline.version
+            self.rebuilds += 1
+            self.ctx.metrics.counter("serve.engine_rebuilds").inc()
+            self.ctx.emit("serve.engine_rebuild", version=self.pipeline.version)
+        return self._range, self._path
+
+    def _staleness(self) -> dict[str, Any]:
+        return {
+            "updates_behind": self.pipeline.version - self._built_version,
+            "bound": self.staleness_updates,
+            "seconds_since_reading": round(self.pipeline.staleness(), 6),
+        }
+
+    def range_query(self, q, radius: float, initiator: Any | None = None) -> dict[str, Any]:
+        """Range query; returns matches, message cost, coverage, staleness."""
+        engine, _ = self._engines()
+        start = self._resolve(initiator) if initiator is not None else self.pipeline.nodes[0]
+        result = engine.query(np.asarray(q, dtype=np.float64), float(radius), start)
+        self.ctx.metrics.counter("serve.queries.range").inc()
+        return {
+            "matches": sorted(str(node) for node in result.matches),
+            "messages": result.messages,
+            "coverage": result.coverage,
+            "drops": result.drops,
+            "staleness": self._staleness(),
+        }
+
+    def path_query(self, source: Any, destination: Any, danger, gamma: float) -> dict[str, Any]:
+        """Safe-path query; returns the path (or None), cost, staleness."""
+        _, engine = self._engines()
+        result = engine.query(
+            self._resolve(source),
+            self._resolve(destination),
+            np.asarray(danger, dtype=np.float64),
+            float(gamma),
+        )
+        self.ctx.metrics.counter("serve.queries.path").inc()
+        return {
+            "path": None if result.path is None else [str(n) for n in result.path],
+            "messages": result.messages,
+            "coverage": result.coverage,
+            "drops": result.drops,
+            "staleness": self._staleness(),
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """The pipeline's canonical digest snapshot (see pipeline docs)."""
+        self.ctx.metrics.counter("serve.queries.snapshot").inc()
+        return self.pipeline.snapshot()
+
+    def healthz(self) -> dict[str, Any]:
+        """Service liveness/degradation payload."""
+        payload = self._health() if self._health is not None else {}
+        payload.setdefault("status", "ok")
+        payload["ready"] = self.pipeline.session is not None
+        payload["clusters"] = self.pipeline.num_clusters
+        payload["coverage"] = round(self.pipeline.coverage(), 6)
+        payload["staleness"] = self._staleness()
+        return payload
+
+    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Route one decoded JSON request to its operation."""
+        op = request.get("op")
+        try:
+            if op == "range":
+                return self.range_query(request["q"], request["radius"], request.get("initiator"))
+            if op == "path":
+                return self.path_query(
+                    request["source"], request["destination"], request["danger"], request["gamma"]
+                )
+            if op == "snapshot":
+                return self.snapshot()
+            if op == "healthz":
+                return self.healthz()
+            return {"error": f"unknown op {op!r}"}
+        except NotReadyError as exc:
+            return {"error": "not_ready", "detail": str(exc)}
+        except (KeyError, ValueError, TypeError) as exc:
+            return {"error": "bad_request", "detail": repr(exc)}
+
+
+class ApiServer:
+    """Newline-delimited JSON TCP front door for a :class:`QueryService`."""
+
+    def __init__(self, service: QueryService, ctx: ServeContext, *, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.ctx = ctx
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line.decode("utf-8"))
+                    response = self.service.dispatch(request)
+                except json.JSONDecodeError as exc:
+                    response = {"error": "bad_json", "detail": str(exc)}
+                writer.write(json.dumps(response, sort_keys=True).encode("utf-8") + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def run(self) -> None:
+        """Serve until cancelled (runs as a supervised stage)."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.ctx.emit("serve.api_listen", host=self.host, port=self.port)
+        async with self._server:
+            await self._server.serve_forever()

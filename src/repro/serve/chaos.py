@@ -1,0 +1,68 @@
+"""Chaos driver: fires service-level fault-plan events inside the service.
+
+Service-level :class:`~repro.sim.faults.FaultPlan` events (stage crashes,
+source stalls, malformed readings, clock skew) are keyed by **stream
+position** rather than kernel time, so a run at a fixed seed replays the
+exact same fault sequence regardless of wall-clock pacing.  The driver
+hands each stage the events that have come due at its current position;
+each event fires exactly once.
+
+The sim-side :class:`~repro.sim.faults.FaultInjector` refuses these
+actions (they target the live process, not simulated nodes) — this
+driver is their only consumer.
+"""
+
+from __future__ import annotations
+
+from repro.sim.faults import (
+    CLOCK_SKEW,
+    MALFORM,
+    SOURCE_STALL,
+    STAGE_CRASH,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.serve.context import ServeContext
+
+
+class ChaosDriver:
+    """Replays a plan's service-level events against the running service."""
+
+    def __init__(self, plan: FaultPlan, ctx: ServeContext):
+        self._ctx = ctx
+        self._events = plan.service_events
+        self._fired: set[int] = set()
+
+    @property
+    def pending(self) -> int:
+        """Events that have not fired yet."""
+        return len(self._events) - len(self._fired)
+
+    def _take(self, action: str, key: str, position: float) -> list[FaultEvent]:
+        due: list[FaultEvent] = []
+        for idx, event in enumerate(self._events):
+            if idx in self._fired or event.action != action or event.time > position:
+                continue
+            target = event.target
+            name = target[0] if isinstance(target, tuple) else target
+            if name != key:
+                continue
+            self._fired.add(idx)
+            due.append(event)
+        return due
+
+    def stage_crashes(self, stage: str, position: float) -> list[FaultEvent]:
+        """Due ``stage_crash`` events for *stage* at stream *position*."""
+        return self._take(STAGE_CRASH, stage, position)
+
+    def stalls(self, source: str, position: float) -> list[tuple[float, float]]:
+        """Due ``(position, duration)`` stalls for *source*."""
+        return [(e.time, e.target[1]) for e in self._take(SOURCE_STALL, source, position)]
+
+    def malformed(self, source: str, position: float) -> bool:
+        """True when *source*'s reading at *position* should be corrupted."""
+        return bool(self._take(MALFORM, source, position))
+
+    def skews(self, source: str, position: float) -> list[float]:
+        """Due clock-skew offsets (seconds) for *source*."""
+        return [e.target[1] for e in self._take(CLOCK_SKEW, source, position)]

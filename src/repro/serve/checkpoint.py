@@ -1,0 +1,123 @@
+"""Atomic, versioned, integrity-checked service checkpoints.
+
+A checkpoint is a single file: one UTF-8 JSON header line (schema
+version, stream position, payload byte length, SHA-256 of the payload)
+followed by a pickled state payload.  Writes go to a temp file in the
+same directory, are fsynced, then published with ``os.replace`` — a
+checkpoint is either fully present or absent, never torn, even under
+SIGKILL mid-write.
+
+:meth:`CheckpointManager.load_latest` walks checkpoints newest-first and
+returns the first one whose header parses, whose schema is supported,
+and whose payload hash matches — a torn or corrupted newest file (the
+expected artifact of a kill) silently falls back to the previous one.
+Restore integrity failures are loud (``serve.checkpoint_rejected``
+events + counter), never crashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.serve.context import ServeContext
+
+#: Checkpoint file schema; bump on incompatible payload changes.
+CHECKPOINT_SCHEMA = 1
+
+_PREFIX = "ckpt-"
+_SUFFIX = ".bin"
+
+
+class CheckpointManager:
+    """Writes and restores atomic checkpoints under one directory."""
+
+    def __init__(self, directory: str | Path, ctx: ServeContext, *, keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self._ctx = ctx
+        self.writes = 0
+
+    def _path_for(self, seq: int) -> Path:
+        return self.directory / f"{_PREFIX}{seq:012d}{_SUFFIX}"
+
+    def checkpoints(self) -> list[Path]:
+        """Existing checkpoint files, oldest first."""
+        return sorted(self.directory.glob(f"{_PREFIX}*{_SUFFIX}"))
+
+    def write(self, state: dict[str, Any], *, seq: int) -> Path:
+        """Atomically persist *state* as the checkpoint for stream position *seq*."""
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "schema": CHECKPOINT_SCHEMA,
+            "seq": int(seq),
+            "length": len(payload),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        }
+        blob = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
+        fd, tmp_name = tempfile.mkstemp(prefix=".ckpt-", dir=self.directory)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            final = self._path_for(seq)
+            os.replace(tmp_name, final)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        self._ctx.metrics.counter("serve.checkpoint_writes").inc()
+        self._ctx.emit("serve.checkpoint_write", seq=int(seq), bytes=len(blob))
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        files = self.checkpoints()
+        for stale in files[: max(0, len(files) - self.keep)]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def _read(self, path: Path) -> tuple[dict[str, Any], dict[str, Any]]:
+        with open(path, "rb") as handle:
+            header_line = handle.readline()
+            payload = handle.read()
+        header = json.loads(header_line.decode("utf-8"))
+        if header.get("schema") != CHECKPOINT_SCHEMA:
+            raise ValueError(f"unsupported checkpoint schema {header.get('schema')!r}")
+        if len(payload) != header.get("length"):
+            raise ValueError("checkpoint payload truncated")
+        if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+            raise ValueError("checkpoint payload hash mismatch")
+        return header, pickle.loads(payload)
+
+    def load_latest(self) -> tuple[dict[str, Any], dict[str, Any]] | None:
+        """Restore the newest intact checkpoint as ``(header, state)``.
+
+        Corrupt or incompatible files are skipped (newest-first) with a
+        ``serve.checkpoint_rejected`` event; returns None when no intact
+        checkpoint exists.
+        """
+        for path in reversed(self.checkpoints()):
+            try:
+                header, state = self._read(path)
+            except (OSError, ValueError, KeyError, json.JSONDecodeError, pickle.UnpicklingError, EOFError) as exc:
+                self._ctx.metrics.counter("serve.checkpoint_rejected").inc()
+                self._ctx.emit("serve.checkpoint_rejected", file=path.name, error=repr(exc))
+                continue
+            self._ctx.emit("serve.checkpoint_restore", seq=header["seq"], file=path.name)
+            return header, state
+        return None

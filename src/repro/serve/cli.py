@@ -1,0 +1,178 @@
+"""``repro serve`` — run the resilient live clustering service.
+
+Examples::
+
+    repro serve --n 48 --rounds 120 --checkpoint-dir /tmp/ckpt \\
+                --checkpoint-every 5s --snapshot-out final.json
+    repro serve --n 48 --rounds 120 --checkpoint-dir /tmp/ckpt --resume
+    repro serve --n 48 --rounds 200 --sources 3 --backpressure shed-oldest \\
+                --chaos-seed 11 --chaos-stage-crashes 2 --chaos-stalls 2 \\
+                --trace serve.jsonl
+
+The process exits 0 after a graceful drain (SIGTERM/SIGINT or stream
+end, with a final checkpoint when checkpointing is configured) and 1
+when a critical stage exhausts its crash budget.  See docs/SERVING.md
+for the lifecycle and resume runbook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.broker import POLICY_BLOCK, POLICY_SHED_OLDEST
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="run the supervised live clustering service",
+    )
+    stream = parser.add_argument_group("stream")
+    stream.add_argument("--n", type=int, default=64, help="network size")
+    stream.add_argument("--seed", type=int, default=7, help="replay stream seed")
+    stream.add_argument("--rounds", type=int, default=200, help="measurement rounds to replay")
+    stream.add_argument("--density", type=float, default=0.8, help="topology density")
+    stream.add_argument("--file", metavar="PATH", help="JSONL reading source instead of the synthetic replay")
+    stream.add_argument("--sources", type=int, default=1, help="shard the stream across this many ingest sources")
+    stream.add_argument("--rate", type=float, default=0.0, help="target readings/second (0 = unpaced)")
+
+    clustering = parser.add_argument_group("clustering")
+    clustering.add_argument("--delta", type=float, default=0.35, help="clustering threshold")
+    clustering.add_argument("--slack", type=float, default=0.05, help="maintenance slack (2*slack < delta)")
+    clustering.add_argument(
+        "--bootstrap-rounds", type=int, default=12,
+        help="RLS updates per node before the initial clustering",
+    )
+
+    robust = parser.add_argument_group("robustness")
+    robust.add_argument("--queue-size", type=int, default=1024, help="pipeline queue bound")
+    robust.add_argument(
+        "--backpressure", choices=(POLICY_BLOCK, POLICY_SHED_OLDEST), default=POLICY_BLOCK,
+        help="pipeline queue overflow policy",
+    )
+    robust.add_argument("--crash-budget", type=int, default=5, help="restarts allowed per stage")
+    robust.add_argument("--drain-timeout", type=float, default=30.0, help="graceful drain deadline (seconds)")
+    robust.add_argument("--checkpoint-dir", metavar="DIR", help="directory for atomic checkpoints")
+    robust.add_argument(
+        "--checkpoint-every", metavar="N[s]", default=None,
+        help="checkpoint cadence: '5s' = every 5 seconds, '200' = every 200 readings",
+    )
+    robust.add_argument("--resume", action="store_true", help="restore the newest intact checkpoint first")
+
+    query = parser.add_argument_group("query API")
+    query.add_argument("--port", type=int, default=None, help="serve the JSON query API on this TCP port (0 = ephemeral)")
+    query.add_argument(
+        "--staleness-updates", type=int, default=500,
+        help="max maintenance updates the query engines may lag",
+    )
+
+    chaos = parser.add_argument_group("chaos (seed-deterministic fault injection)")
+    chaos.add_argument("--chaos-seed", type=int, default=None, help="fault plan seed (enables chaos)")
+    chaos.add_argument("--chaos-stage-crashes", type=int, default=0, help="injected stage crashes")
+    chaos.add_argument("--chaos-stalls", type=int, default=0, help="injected source stalls")
+    chaos.add_argument("--chaos-stall-duration", type=float, default=0.2, help="seconds per stall")
+    chaos.add_argument("--chaos-malformed", type=int, default=0, help="injected corrupted readings")
+
+    out = parser.add_argument_group("artifacts")
+    out.add_argument("--trace", metavar="PATH", help="export the serve.* JSONL trace at exit")
+    out.add_argument("--metrics-out", metavar="PATH", help="export the metrics registry as JSON at exit")
+    out.add_argument("--snapshot-out", metavar="PATH", help="write the canonical digest snapshot at exit")
+    return parser
+
+
+def parse_checkpoint_every(raw: str | None) -> tuple[float | None, int | None]:
+    """Parse ``--checkpoint-every``: ``'5s'`` → seconds, ``'200'`` → readings."""
+    if raw is None:
+        return None, None
+    text = raw.strip().lower()
+    try:
+        if text.endswith("s"):
+            seconds = float(text[:-1])
+            if seconds <= 0:
+                raise ValueError
+            return seconds, None
+        readings = int(text)
+        if readings <= 0:
+            raise ValueError
+        return None, readings
+    except ValueError:
+        raise SystemExit(
+            f"--checkpoint-every must be a positive duration like '5s' or a reading count, got {raw!r}"
+        ) from None
+
+
+def config_from_args(args: argparse.Namespace):
+    """Translate parsed arguments into a :class:`ServiceConfig`."""
+    from repro.serve.service import ServiceConfig
+    from repro.sim.faults import FaultPlan
+
+    every_s, every_readings = parse_checkpoint_every(args.checkpoint_every)
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    plan = None
+    if args.chaos_seed is not None:
+        total = args.rounds * args.n
+        stages = ["pipeline"] + [f"ingest:src-{i}" for i in range(args.sources)]
+        sources = [f"src-{i}" for i in range(args.sources)]
+        plan = FaultPlan.random_service(
+            seed=args.chaos_seed,
+            positions=(0.15 * total, 0.75 * total),
+            stages=stages,
+            stage_crashes=args.chaos_stage_crashes,
+            sources=sources,
+            stalls=args.chaos_stalls,
+            stall_duration=args.chaos_stall_duration,
+            malformed=args.chaos_malformed,
+        )
+    return ServiceConfig(
+        n=args.n,
+        seed=args.seed,
+        rounds=args.rounds,
+        density=args.density,
+        delta=args.delta,
+        slack=args.slack,
+        bootstrap_rounds=args.bootstrap_rounds,
+        sources=args.sources,
+        queue_size=args.queue_size,
+        backpressure=args.backpressure,
+        rate=args.rate,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_s=every_s,
+        checkpoint_every_readings=every_readings,
+        resume=args.resume,
+        crash_budget=args.crash_budget,
+        drain_timeout=args.drain_timeout,
+        staleness_updates=args.staleness_updates,
+        port=args.port,
+        file_source=args.file,
+        trace_out=args.trace,
+        metrics_out=args.metrics_out,
+        snapshot_out=args.snapshot_out,
+        chaos_plan=plan,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro serve`` entry point."""
+    args = build_parser().parse_args(argv)
+    from repro.serve.service import ClusteringService
+
+    config = config_from_args(args)
+    service = ClusteringService(config)
+    code = service.run()
+    pipeline = service.pipeline
+    print(
+        f"serve: exit {code} ({service.drain_reason or 'failed'}) — "
+        f"applied {pipeline.applied_total} readings, "
+        f"{pipeline.num_clusters} clusters, "
+        f"coverage {pipeline.coverage():.3f}, "
+        f"restarts {service.supervisor.total_restarts()}",
+        file=sys.stderr,
+    )
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

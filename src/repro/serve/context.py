@@ -1,0 +1,41 @@
+"""Shared service context: clock, tracer, and metrics wiring.
+
+Every serve-layer component receives one :class:`ServeContext` instead of
+separate tracer/metrics/clock arguments.  The context timestamps
+``serve.*`` trace events with seconds since service start (monotonic), so
+traces from different runs line up at t=0 and the ``repro trace``
+inspector's ``--since/--until`` filters work naturally on them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Hashable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class ServeContext:
+    """Clock + observability handles shared by every service component.
+
+    Parameters
+    ----------
+    tracer:
+        Destination for ``serve.*`` trace events (a fresh one by default).
+    metrics:
+        Registry for the service's counters and gauges (fresh by default).
+    """
+
+    def __init__(self, tracer: Tracer | None = None, metrics: MetricsRegistry | None = None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._t0 = time.monotonic()
+
+    def now(self) -> float:
+        """Seconds since service start (monotonic)."""
+        return time.monotonic() - self._t0
+
+    def emit(self, type: str, subject: Hashable | None = None, **data: Any) -> None:
+        """Emit one ``serve.*`` trace event stamped with the service clock."""
+        self.tracer.emit(round(self.now(), 6), type, subject, **data)

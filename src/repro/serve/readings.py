@@ -1,0 +1,247 @@
+"""Reading streams: the replayable sources the ingest front-end consumes.
+
+A :class:`Reading` is one sensor measurement with a global stream
+position (``seq``).  Sources are **replayable**: they can be re-opened at
+any position, which is what makes checkpoint/restore exact — a resumed
+service seeks its sources past the last checkpointed position and the
+pipeline skips anything already applied.
+
+Two source families:
+
+- :class:`ReplaySource` over a :class:`ReplayStream` — a deterministic
+  synthetic measurement stream (the paper's AR(1) generator, §8.1) that
+  is a pure function of ``(n, seed, rounds)``.  Tests, CI, and the
+  kill-and-resume equivalence check all run on it.  A stream can be
+  sharded across several sources (round-robin by node index) to exercise
+  degraded modes where one source stalls while others advance.
+- :class:`FileSource` — line-delimited JSON readings
+  (``{"node": ..., "value": ...}`` per line) for replaying recorded
+  data; ``seq`` is the line number.
+
+Sources raise :class:`TransientSourceError` for retryable failures; the
+ingest stage wraps every fetch in timeout + retry with exponential
+backoff (see :mod:`repro.serve.ingest`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro._validation import require_in_range, require_int_at_least
+from repro.geometry.topology import Topology, random_geometric_topology
+
+#: The paper's α range for the per-node AR(1) coefficient (§8.1).
+ALPHA_RANGE = (0.4, 0.8)
+
+
+class TransientSourceError(RuntimeError):
+    """A retryable source failure (the ingest stage backs off and retries)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Reading:
+    """One sensor measurement in the global stream order.
+
+    ``seq`` is the reading's global stream position (unique, increasing
+    per node); ``timestamp`` is the source clock in stream seconds.
+    """
+
+    seq: int
+    node: Hashable
+    value: float
+    timestamp: float
+    source: str = "replay"
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """Parameters of a deterministic synthetic reading stream."""
+
+    #: Network size (nodes placed as in the synthetic dataset).
+    n: int = 64
+    #: Seed; the stream is a pure function of the whole spec.
+    seed: int = 7
+    #: Measurement rounds (each round emits one reading per node).
+    rounds: int = 200
+    #: Topology density (see :func:`random_geometric_topology`).
+    density: float = 0.8
+    #: Stream seconds between consecutive readings (timestamp spacing).
+    dt: float = 0.05
+
+    def __post_init__(self) -> None:
+        require_int_at_least(self.n, 2, "n")
+        require_int_at_least(self.rounds, 1, "rounds")
+        require_in_range(self.density, 0.1, 2.0, "density")
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+
+
+class ReplayStream:
+    """A fully materialized synthetic stream: topology + value matrix.
+
+    The value matrix follows the paper's synthetic generator:
+    ``x_t = α_i x_{t-1} + e_t`` with ``e_t ~ U(0,1)`` and per-node
+    ``α_i ~ U(0.4, 0.8)`` — deterministic given the spec, so two builds
+    of the same spec replay byte-identical readings.
+    """
+
+    def __init__(self, spec: ReplaySpec):
+        self.spec = spec
+        self.topology: Topology = random_geometric_topology(
+            spec.n, seed=spec.seed, density=spec.density, target_degree=4.0
+        )
+        self.nodes = list(self.topology.graph.nodes)
+        rng = np.random.default_rng(spec.seed)
+        self.alphas = rng.uniform(*ALPHA_RANGE, size=spec.n)
+        state = rng.uniform(0.0, 1.0, size=spec.n)
+        values = np.empty((spec.rounds, spec.n), dtype=np.float64)
+        for r in range(spec.rounds):
+            state = self.alphas * state + rng.uniform(0.0, 1.0, size=spec.n)
+            values[r] = state
+        self.values = values
+
+    @property
+    def total_readings(self) -> int:
+        """Number of readings in the whole stream."""
+        return self.spec.rounds * self.spec.n
+
+    def reading(self, seq: int) -> Reading:
+        """The reading at global position *seq*."""
+        n = self.spec.n
+        r, k = divmod(seq, n)
+        return Reading(
+            seq=seq,
+            node=self.nodes[k],
+            value=float(self.values[r, k]),
+            timestamp=seq * self.spec.dt,
+        )
+
+
+class ReplaySource:
+    """A (possibly sharded) cursor over a :class:`ReplayStream`.
+
+    With ``shard = (i, k)`` the source emits only readings of nodes whose
+    index satisfies ``idx % k == i``, in global ``seq`` order — the whole
+    stream when ``(0, 1)``.  The cursor survives stage restarts (the
+    supervisor re-enters ``run`` with the same source object) and can be
+    repositioned after a checkpoint restore via :meth:`resume_after`.
+    """
+
+    def __init__(self, stream: ReplayStream, *, shard: tuple[int, int] = (0, 1), name: str | None = None):
+        index, count = shard
+        if count < 1 or not 0 <= index < count:
+            raise ValueError(f"shard must be (index, count) with 0 <= index < count, got {shard}")
+        self.stream = stream
+        self.shard = shard
+        self.name = name if name is not None else f"replay-{index}"
+        n = stream.spec.n
+        #: Node indices this shard owns, ascending.
+        self._own = [k for k in range(n) if k % count == index]
+        self._cursor = 0  # position into this shard's flat reading list
+        self._total = stream.spec.rounds * len(self._own)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every reading of this shard has been emitted."""
+        return self._cursor >= self._total
+
+    @property
+    def remaining(self) -> int:
+        """Readings this shard has not yet emitted."""
+        return self._total - self._cursor
+
+    def _seq_at(self, cursor: int) -> int:
+        per_round = len(self._own)
+        r, j = divmod(cursor, per_round)
+        return r * self.stream.spec.n + self._own[j]
+
+    async def next_reading(self) -> Reading | None:
+        """The next reading of this shard, or None at end of stream."""
+        if self.exhausted:
+            return None
+        reading = self.stream.reading(self._seq_at(self._cursor))
+        self._cursor += 1
+        return reading
+
+    def resume_after(self, last_seq: Mapping[Hashable, int]) -> int:
+        """Reposition past readings already applied per *last_seq*.
+
+        Seeks to the first reading whose ``seq`` exceeds the smallest
+        recorded position among this shard's nodes (the pipeline's
+        per-node skip makes any residual overlap idempotent).  Returns
+        the new cursor.
+        """
+        nodes = self.stream.nodes
+        floor = min(
+            (last_seq.get(nodes[k], -1) for k in self._own), default=-1
+        )
+        self._cursor = 0
+        while self._cursor < self._total and self._seq_at(self._cursor) <= floor:
+            self._cursor += 1
+        return self._cursor
+
+
+class FileSource:
+    """Replayable JSONL reading source (``{"node":..., "value":...}`` lines).
+
+    ``seq`` is the line number, so re-opening the file and skipping lines
+    reproduces the stream exactly.  Malformed lines are *emitted* with a
+    non-finite value — the ingest validator counts and drops them, which
+    keeps corrupt input an observable event instead of a silent skip.
+    """
+
+    def __init__(self, path: str, *, name: str | None = None, dt: float = 0.05):
+        self.path = path
+        self.name = name if name is not None else "file"
+        self.dt = dt
+        self._lines = self._load()
+        self._cursor = 0
+
+    def _load(self) -> list[tuple[Hashable, float]]:
+        out: list[tuple[Hashable, float]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    out.append((payload["node"], float(payload["value"])))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    out.append((None, float("nan")))
+        return out
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every line has been emitted."""
+        return self._cursor >= len(self._lines)
+
+    @property
+    def remaining(self) -> int:
+        """Readings not yet emitted."""
+        return len(self._lines) - self._cursor
+
+    async def next_reading(self) -> Reading | None:
+        """The next reading, or None at end of file."""
+        if self.exhausted:
+            return None
+        node, value = self._lines[self._cursor]
+        reading = Reading(
+            seq=self._cursor,
+            node=node,
+            value=value,
+            timestamp=self._cursor * self.dt,
+            source=self.name,
+        )
+        self._cursor += 1
+        return reading
+
+    def resume_after(self, last_seq: Mapping[Hashable, int]) -> int:
+        """Reposition past the smallest applied position (see ReplaySource)."""
+        floor = min(last_seq.values(), default=-1)
+        self._cursor = max(0, int(floor) + 1)
+        return self._cursor

@@ -1,0 +1,133 @@
+"""Stage supervision: restart crashed stages with backoff, under a crash budget.
+
+Every long-running piece of the service (each ingest source, the
+pipeline consumer, the checkpointer, the query API) runs as a supervised
+*stage*.  A stage that raises is restarted after an exponential backoff
+(``backoff_base · 2^(restarts-1)``, capped); a stage that exhausts its
+crash budget is abandoned — and if it was marked *critical*, the whole
+service fails fast (exit code 1) rather than limping along silently.
+
+Observability: every crash emits a ``serve.stage_crash`` trace event and
+bumps ``serve.stage_restarts``; a budget exhaustion emits
+``serve.stage_giveup``.  Restart counts are part of the ``/healthz``
+payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from repro.serve.context import ServeContext
+
+
+class StageCrash(RuntimeError):
+    """Raised inside a stage to simulate (or signal) a stage crash."""
+
+
+@dataclass
+class StageSpec:
+    """One supervised stage: a restartable coroutine factory plus its record."""
+
+    name: str
+    factory: Callable[[], Awaitable[None]]
+    critical: bool = True
+    restarts: int = 0
+    done: bool = False
+    failed: bool = False
+    task: asyncio.Task | None = field(default=None, repr=False)
+
+
+class Supervisor:
+    """Runs stages as tasks, restarting crashes with exponential backoff.
+
+    Parameters
+    ----------
+    ctx:
+        Service context for events/metrics.
+    crash_budget:
+        Restarts allowed per stage before it is abandoned.
+    backoff_base:
+        First restart delay in seconds; doubles per restart up to
+        *backoff_cap*.
+    """
+
+    def __init__(
+        self,
+        ctx: ServeContext,
+        *,
+        crash_budget: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ):
+        if crash_budget < 0:
+            raise ValueError(f"crash_budget must be >= 0, got {crash_budget}")
+        self._ctx = ctx
+        self.crash_budget = crash_budget
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.stages: dict[str, StageSpec] = {}
+        self.failed = asyncio.Event()
+
+    def add(self, name: str, factory: Callable[[], Awaitable[None]], *, critical: bool = True) -> StageSpec:
+        """Register a stage; started by :meth:`start`."""
+        if name in self.stages:
+            raise ValueError(f"duplicate stage name {name!r}")
+        spec = StageSpec(name, factory, critical)
+        self.stages[name] = spec
+        return spec
+
+    def start(self) -> None:
+        """Launch one supervised task per registered stage."""
+        for spec in self.stages.values():
+            if spec.task is None:
+                spec.task = asyncio.create_task(self._run_stage(spec), name=f"stage:{spec.name}")
+
+    async def _run_stage(self, spec: StageSpec) -> None:
+        while True:
+            try:
+                await spec.factory()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — supervision boundary
+                spec.restarts += 1
+                self._ctx.metrics.counter("serve.stage_restarts").inc()
+                self._ctx.emit("serve.stage_crash", spec.name, stage=spec.name, error=repr(exc))
+                if spec.restarts > self.crash_budget:
+                    spec.failed = True
+                    self._ctx.emit("serve.stage_giveup", spec.name, stage=spec.name, restarts=spec.restarts)
+                    if spec.critical:
+                        self.failed.set()
+                    return
+                backoff = min(self.backoff_base * 2 ** (spec.restarts - 1), self.backoff_cap)
+                self._ctx.emit("serve.stage_restart", spec.name, stage=spec.name, backoff=round(backoff, 4))
+                await asyncio.sleep(backoff)
+                continue
+            spec.done = True
+            self._ctx.emit("serve.stage_done", spec.name, stage=spec.name)
+            return
+
+    def restart_counts(self) -> dict[str, int]:
+        """Restarts per stage (the ``/healthz`` breakdown)."""
+        return {name: spec.restarts for name, spec in self.stages.items()}
+
+    def total_restarts(self) -> int:
+        """Restarts across all stages."""
+        return sum(spec.restarts for spec in self.stages.values())
+
+    def all_done(self, names: list[str] | None = None) -> bool:
+        """True when the named stages (default: all) finished or were abandoned."""
+        specs = (
+            self.stages.values()
+            if names is None
+            else [self.stages[name] for name in names]
+        )
+        return all(spec.done or spec.failed for spec in specs)
+
+    async def cancel(self) -> None:
+        """Cancel every still-running stage task and await them."""
+        tasks = [spec.task for spec in self.stages.values() if spec.task is not None]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)

@@ -26,6 +26,14 @@ copy (``graph.copy()``).
 With an **empty plan nothing is scheduled and nothing is touched**, so a
 zero-fault run is byte-identical to a run without an injector.
 
+Plans can also carry **service-level faults** (stage crashes, source
+stalls, malformed readings, clock skew) whose targets are parts of the
+live serving process (:mod:`repro.serve`) rather than simulated nodes.
+Those events use stream positions as their ``time`` axis, are listed by
+:attr:`FaultPlan.service_events`, and are executed by the serve layer's
+ChaosDriver — :meth:`FaultInjector.arm` refuses them, keeping the two
+fault domains from being crossed by accident.
+
 Observability: with a tracer attached to the network, the injector emits
 ``fault.inject`` when a plan event fires (the *intent*; the network's
 mutators separately emit ``node.crash`` / ``link.down`` etc. — the
@@ -51,7 +59,18 @@ LINK_DOWN = "link_down"
 LINK_UP = "link_up"
 PARTITION = "partition"
 
-_ACTIONS = frozenset({CRASH, RECOVER, LINK_DOWN, LINK_UP, PARTITION})
+#: Service-level fault actions (non-simulated targets): these name parts
+#: of the live serving process (:mod:`repro.serve`) rather than simulated
+#: sensor nodes, and are executed by the serve layer's ChaosDriver at
+#: stream positions — ``FaultEvent.time`` is a reading sequence number,
+#: not a kernel timestamp.  :class:`FaultInjector` refuses to arm them.
+STAGE_CRASH = "stage_crash"
+SOURCE_STALL = "source_stall"
+MALFORM = "malform"
+CLOCK_SKEW = "clock_skew"
+
+_SERVICE_ACTIONS = frozenset({STAGE_CRASH, SOURCE_STALL, MALFORM, CLOCK_SKEW})
+_ACTIONS = frozenset({CRASH, RECOVER, LINK_DOWN, LINK_UP, PARTITION}) | _SERVICE_ACTIONS
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,6 +125,37 @@ class FaultPlan:
         """Cut every edge between *region* and the rest of the graph."""
         self.events.append(FaultEvent(time, PARTITION, tuple(region)))
         return self
+
+    # -- service-level builders (executed by repro.serve's ChaosDriver;
+    #    *position* is a reading sequence number, not a kernel time) ----
+    def stage_crash(self, position: float, stage: str) -> "FaultPlan":
+        """Crash the named pipeline *stage* when the stream reaches *position*."""
+        self.events.append(FaultEvent(position, STAGE_CRASH, stage))
+        return self
+
+    def source_stall(self, position: float, source: str, duration: float) -> "FaultPlan":
+        """Stall the named ingest *source* for *duration* seconds at *position*."""
+        self.events.append(FaultEvent(position, SOURCE_STALL, (source, float(duration))))
+        return self
+
+    def malform(self, position: float, source: str) -> "FaultPlan":
+        """Corrupt the reading the named *source* emits at *position*."""
+        self.events.append(FaultEvent(position, MALFORM, source))
+        return self
+
+    def clock_skew(self, position: float, source: str, offset: float) -> "FaultPlan":
+        """Skew the named *source*'s clock by *offset* seconds from *position* on."""
+        self.events.append(FaultEvent(position, CLOCK_SKEW, (source, float(offset))))
+        return self
+
+    @property
+    def service_events(self) -> list[FaultEvent]:
+        """The service-level events (serve ChaosDriver targets), in order."""
+        indexed = sorted(
+            (pair for pair in enumerate(self.events) if pair[1].action in _SERVICE_ACTIONS),
+            key=lambda pair: (pair[1].time, pair[0]),
+        )
+        return [event for _, event in indexed]
 
     # -- properties -----------------------------------------------------
     @property
@@ -169,6 +219,48 @@ class FaultPlan:
                 plan.link_up(float(t) + churn_downtime, u, v)
         return plan
 
+    @classmethod
+    def random_service(
+        cls,
+        *,
+        seed: int,
+        positions: tuple[float, float],
+        stages: Sequence[str] = (),
+        stage_crashes: int = 0,
+        sources: Sequence[str] = (),
+        stalls: int = 0,
+        stall_duration: float = 0.5,
+        malformed: int = 0,
+    ) -> "FaultPlan":
+        """Build a stochastic *service-level* plan — a pure function of
+        its arguments, like :meth:`random`.
+
+        ``stage_crashes`` crash events target stages drawn from *stages*,
+        ``stalls`` stall events and ``malformed`` corrupted readings
+        target sources drawn from *sources*; all fire at stream positions
+        uniform in ``positions``.  Executed by the serve layer's
+        ChaosDriver (see :mod:`repro.serve.chaos`).
+        """
+        rng = np.random.default_rng(seed)
+        plan = cls()
+        lo, hi = positions
+        if stage_crashes and stages:
+            picks = rng.integers(0, len(stages), size=stage_crashes)
+            times = rng.uniform(lo, hi, size=stage_crashes)
+            for idx, t in zip(picks, times):
+                plan.stage_crash(float(t), stages[int(idx)])
+        if stalls and sources:
+            picks = rng.integers(0, len(sources), size=stalls)
+            times = rng.uniform(lo, hi, size=stalls)
+            for idx, t in zip(picks, times):
+                plan.source_stall(float(t), sources[int(idx)], stall_duration)
+        if malformed and sources:
+            picks = rng.integers(0, len(sources), size=malformed)
+            times = rng.uniform(lo, hi, size=malformed)
+            for idx, t in zip(picks, times):
+                plan.malform(float(t), sources[int(idx)])
+        return plan
+
 
 class FaultInjector:
     """Executes a :class:`FaultPlan` on a network's event kernel.
@@ -210,6 +302,12 @@ class FaultInjector:
         self._armed = True
         kernel = self.network.kernel
         for event in self.plan.sorted_events():
+            if event.action in _SERVICE_ACTIONS:
+                raise ValueError(
+                    f"service-level fault {event.action!r} targets the live "
+                    "serving process, not the simulated network; run it "
+                    "through repro.serve's ChaosDriver instead"
+                )
             kernel.schedule_at(event.time, self._apply, event)
         return len(self.plan.events)
 

@@ -93,7 +93,16 @@ class MessageStats:
 
     def record_drop(self, message: Message, reason: str) -> None:
         """Record a structured delivery failure (no hops are charged)."""
-        self.drops_by_kind[message.kind] += 1
+        self.drop(message.kind, reason)
+
+    def drop(self, kind: str, reason: str) -> None:
+        """Record a delivery failure by *kind*/*reason* alone.
+
+        Accounting-only counterpart of :meth:`record_drop` for call sites
+        where no :class:`Message` object travels (e.g. a query engine
+        noting that a dead relay made a cluster unreachable).
+        """
+        self.drops_by_kind[kind] += 1
         self.drops_by_reason[reason] += 1
 
     @property

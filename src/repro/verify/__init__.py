@@ -35,6 +35,7 @@ from repro.verify.invariants import (
     default_monitors,
 )
 from repro.verify.replay import ReplayReport, TraceDivergence, diff_traces, replay_check
+from repro.verify.serve_check import SnapshotDiff, diff_snapshot_files, diff_snapshots
 from repro.verify.runtime import (
     LEVELS,
     VERIFY_ENV,
@@ -57,12 +58,15 @@ __all__ = [
     "ReplayReport",
     "RunVerifier",
     "ScenarioSpec",
+    "SnapshotDiff",
     "TimerOwnershipMonitor",
     "TraceDivergence",
     "VERIFY_ENV",
     "build_scenario",
     "check_stats_conservation",
     "default_monitors",
+    "diff_snapshot_files",
+    "diff_snapshots",
     "diff_traces",
     "replay_check",
     "run_scenario",

@@ -1,19 +1,25 @@
 """``python -m repro verify`` — run the correctness oracle from the shell.
 
-Two modes over the shared chaos harness (:mod:`repro.verify.harness`):
+Three modes:
 
-- default: one fully-verified scenario — online invariant monitors,
-  stats conservation, and δ-legality of the surviving clustering; any
+- default: one fully-verified scenario over the shared chaos harness
+  (:mod:`repro.verify.harness`) — online invariant monitors, stats
+  conservation, and δ-legality of the surviving clustering; any
   violation is printed and exits 1.
 - ``--replay``: the determinism differ — the scenario runs twice at the
   same seed and the two traces are compared byte-for-byte; the first
   divergent event (if any) is printed and exits 1.
+- ``--serve-diff A B``: the serving-layer equivalence check — compare
+  two ``repro serve --snapshot-out`` files (typically a kill-and-resume
+  run against an uninterrupted one) and exit 1 with the first divergent
+  state entries if their digests differ.
 
 ``--n`` is a target node count; the harness uses the nearest square grid.
 Examples::
 
     python -m repro verify --n 49 --crash 0.1 --seed 3
     python -m repro verify --replay --n 49 --crash 0.08 --seed 11
+    python -m repro verify --serve-diff resumed.json uninterrupted.json
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import math
 from repro.verify.harness import ScenarioSpec, run_scenario
 from repro.verify.invariants import InvariantError
 from repro.verify.replay import replay_check
+from repro.verify.serve_check import diff_snapshot_files
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,6 +43,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay",
         action="store_true",
         help="determinism mode: run the scenario twice and diff the traces",
+    )
+    parser.add_argument(
+        "--serve-diff",
+        nargs=2,
+        metavar=("A", "B"),
+        default=None,
+        help="compare two 'repro serve --snapshot-out' files for state equivalence",
     )
     parser.add_argument(
         "--n", type=int, default=49, help="target node count (nearest square grid; default 49)"
@@ -73,6 +87,15 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code (0 clean, 1 violation)."""
     args = _build_parser().parse_args(argv)
+    if args.serve_diff is not None:
+        try:
+            diff = diff_snapshot_files(args.serve_diff[0], args.serve_diff[1])
+        except (OSError, ValueError) as error:
+            print(f"verify --serve-diff FAILED to load snapshots: {error}")
+            return 1
+        print(f"verify --serve-diff {args.serve_diff[0]} {args.serve_diff[1]}")
+        print(f"  {diff}")
+        return 0 if diff.equivalent else 1
     spec = _spec_from_args(args)
     label = (
         f"{spec.side * spec.side} nodes, delta={spec.delta:g}, "

@@ -1,0 +1,98 @@
+"""Kill-and-resume equivalence certification for the serving layer.
+
+The live service (:mod:`repro.serve`) writes a canonical digest snapshot
+of its end state (per-node RLS coefficients, applied positions, cluster
+assignment, root features, maintenance message totals).  On a
+deterministic replay source, a run that was SIGKILLed and resumed from a
+checkpoint must reach **exactly** the snapshot an uninterrupted run
+reaches — the checkpoint/restore path provably loses and invents
+nothing.
+
+:func:`diff_snapshots` compares two snapshot files and reports the first
+divergences in human terms; ``repro verify --serve-diff A B`` exposes it
+from the shell (CI runs it after its kill/resume exercise).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+
+@dataclass
+class SnapshotDiff:
+    """Outcome of comparing two serve snapshots."""
+
+    equivalent: bool
+    digest_a: str
+    digest_b: str
+    #: Human-readable divergences, most significant first (empty when
+    #: equivalent; capped — a digest mismatch guarantees at least one).
+    divergences: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        if self.equivalent:
+            return f"equivalent (digest {self.digest_a[:16]})"
+        lines = [f"NOT equivalent: {self.digest_a[:16]} != {self.digest_b[:16]}"]
+        lines.extend(f"  - {d}" for d in self.divergences)
+        return "\n".join(lines)
+
+
+def _dict_divergences(name: str, a: dict, b: dict, limit: int) -> list[str]:
+    out: list[str] = []
+    for key in sorted(set(a) | set(b), key=str):
+        if len(out) >= limit:
+            out.append(f"{name}: ... (more divergences truncated)")
+            break
+        if key not in a:
+            out.append(f"{name}[{key}]: only in B ({b[key]!r})")
+        elif key not in b:
+            out.append(f"{name}[{key}]: only in A ({a[key]!r})")
+        elif a[key] != b[key]:
+            out.append(f"{name}[{key}]: {a[key]!r} != {b[key]!r}")
+    return out
+
+
+def diff_snapshots(a: dict[str, Any], b: dict[str, Any], *, limit: int = 8) -> SnapshotDiff:
+    """Compare two serve snapshots; divergences are reported per section.
+
+    The digest alone decides equivalence (it is the SHA-256 of the
+    canonical state); the section-by-section walk exists to tell a human
+    *where* two runs diverged — which node's coefficients, which
+    assignment entry — rather than just that they did.
+    """
+    digest_a = str(a.get("digest", ""))
+    digest_b = str(b.get("digest", ""))
+    if digest_a and digest_a == digest_b:
+        return SnapshotDiff(True, digest_a, digest_b)
+    divergences: list[str] = []
+    state_a = a.get("state", {})
+    state_b = b.get("state", {})
+    for scalar in ("applied_total", "applied_seq", "maintenance_values"):
+        if state_a.get(scalar) != state_b.get(scalar):
+            divergences.append(
+                f"{scalar}: {state_a.get(scalar)!r} != {state_b.get(scalar)!r}"
+            )
+    for section in ("last_seq", "coefficients", "assignment", "root_features"):
+        remaining = limit - len(divergences)
+        if remaining <= 0:
+            break
+        divergences.extend(
+            _dict_divergences(
+                section, state_a.get(section, {}), state_b.get(section, {}), remaining
+            )
+        )
+    if not divergences:
+        divergences.append("digests differ but states compare equal (schema mismatch?)")
+    return SnapshotDiff(False, digest_a, digest_b, divergences)
+
+
+def diff_snapshot_files(path_a: str | Path, path_b: str | Path, *, limit: int = 8) -> SnapshotDiff:
+    """Load two snapshot JSON files and :func:`diff_snapshots` them."""
+    with open(path_a, "r", encoding="utf-8") as handle:
+        a = json.load(handle)
+    with open(path_b, "r", encoding="utf-8") as handle:
+        b = json.load(handle)
+    return diff_snapshots(a, b, limit=limit)

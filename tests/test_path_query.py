@@ -224,3 +224,33 @@ def test_dead_representative_partial_coverage():
     if result.path is not None:
         assert dead not in result.path
         assert not set(result.path) & set(clustering.members(dead))
+
+
+def test_path_drop_accounting_agrees_between_stats_and_metrics():
+    """Dead-root classification drops are mirrored into the registry and
+    totalled in ``PathQueryResult.drops`` (see the range-query twin)."""
+    from repro.geometry.topology import grid_topology
+    from repro.obs import MetricsRegistry
+
+    topology = grid_topology(4, 4)
+    # identical features: one cluster per component, so dead roots still
+    # leave live endpoints for the query to classify around
+    features = {n: np.zeros(1) for n in topology.graph.nodes}
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=1.5)).clustering
+    mtree = build_mtree(clustering, features, metric)
+    metrics = MetricsRegistry()
+    dead = set(clustering.roots)
+    alive = [n for n in topology.graph.nodes if n not in dead]
+    engine = PathQueryEngine(
+        topology.graph, clustering, features, metric, mtree, dead=dead, metrics=metrics
+    )
+    out = engine.query(alive[0], alive[-1], np.zeros(1), 1e6)
+    assert out.drops > 0
+    assert out.coverage == 0.0  # every root dead: nothing classifiable
+    mirrored = sum(
+        metrics.counter(name).value
+        for name in metrics.names()
+        if name.startswith("queries.drops.")
+    )
+    assert mirrored == out.drops

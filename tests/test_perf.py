@@ -11,6 +11,7 @@ Two contracts from docs/ARCHITECTURE.md ("Performance layer"):
 
 from __future__ import annotations
 
+import os
 import pickle
 import re
 
@@ -125,6 +126,56 @@ def test_cache_eviction_respects_bound(tmp_path):
     stats = cache.stats()
     assert stats["bytes"] <= 5_000
     assert 0 < stats["entries"] < 10
+
+
+def test_cache_corrupt_entry_is_quarantined_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = cache_key("thing", {"n": 1}, "1")
+    cache.put(key, {"ok": True})
+    path = tmp_path / f"{key}.pkl"
+    path.write_bytes(b"\x80\x05not a pickle at all")
+    hit, value = cache.get(key)
+    assert not hit and value is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+    assert path.with_suffix(".corrupt").exists()
+    # quarantined file is out of the key space: next lookup is a plain miss
+    hit, _ = cache.get(key)
+    assert not hit and cache.quarantined == 1
+
+
+def test_cache_put_retries_transient_rename_failure(tmp_path, monkeypatch):
+    cache = ArtifactCache(tmp_path)
+    sleeps = []
+    cache._retry_sleep = sleeps.append
+    real_replace = os.replace
+    failures = {"left": 2}
+
+    def flaky_replace(src, dst):
+        if str(dst).endswith(".pkl") and failures["left"] > 0:
+            failures["left"] -= 1
+            raise OSError("transient")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", flaky_replace)
+    key = cache_key("thing", {"n": 2}, "1")
+    cache.put(key, 42)
+    assert sleeps == [0.02, 0.04]  # exponential backoff between attempts
+    assert cache.write_failures == 0
+    assert cache.get(key) == (True, 42)
+
+
+def test_cache_put_swallows_persistent_failure(tmp_path, monkeypatch):
+    cache = ArtifactCache(tmp_path)
+    cache._retry_sleep = lambda _: None
+
+    def always_fail(src, dst):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(os, "replace", always_fail)
+    cache.put(cache_key("thing", {"n": 3}, "1"), 42)  # must not raise
+    assert cache.write_failures == 1
+    assert cache.stats()["write_failures"] == 1
 
 
 def test_cached_artifact_off_without_env(tmp_path, monkeypatch):

@@ -290,3 +290,35 @@ def test_zero_survivors_reports_zero_coverage():
     out = engine.query(np.zeros(1), 1e6, next(iter(topology.graph.nodes)))
     assert out.coverage == 0.0
     assert out.matches == set()
+
+
+def test_drop_accounting_agrees_between_stats_and_metrics():
+    """Degraded queries account drops identically in ``stats.drops_by_reason``
+    and the (optional) ``MetricsRegistry`` counters, and report the total
+    through ``RangeQueryResult.drops``."""
+    from repro.geometry.topology import grid_topology
+    from repro.obs import MetricsRegistry
+
+    topology = grid_topology(4, 4)
+    # identical features: one cluster per component, so killing the roots
+    # leaves survivors to run the local-only degraded path
+    features = {n: np.zeros(1) for n in topology.graph.nodes}
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=1.5)).clustering
+    mtree = build_mtree(clustering, features, metric)
+    backbone = build_backbone(topology.graph, clustering)
+    metrics = MetricsRegistry()
+    dead = set(clustering.roots)  # every root dead: local-only degraded path
+    engine = RangeQueryEngine(
+        clustering, features, metric, mtree, backbone, dead=dead, metrics=metrics
+    )
+    initiator = next(n for n in topology.graph.nodes if n not in dead)
+    out = engine.query(np.zeros(1), 1e6, initiator)
+    assert out.drops > 0
+    reasons = {
+        name.rsplit(".", 1)[1]: metrics.counter(name).value
+        for name in metrics.names()
+        if name.startswith("queries.drops.")
+    }
+    assert reasons  # the registry saw every structured drop reason
+    assert sum(reasons.values()) == out.drops

@@ -1,0 +1,251 @@
+"""Service-level acceptance tests for the live clustering service.
+
+The three lifecycle guarantees CI certifies:
+
+1. **SIGTERM graceful drain** — a real subprocess receiving SIGTERM stops
+   intake, flushes its queues, writes a final checkpoint, and exits 0.
+2. **Kill-and-resume equivalence** — a run killed mid-stream (task
+   cancellation, the in-process SIGKILL analogue: no drain, no final
+   checkpoint) and resumed from its newest checkpoint reaches exactly the
+   snapshot digest of an uninterrupted run on the same replay source.
+3. **Chaos acceptance** — with seed-deterministic stage crashes and
+   source stalls injected, the service restarts its stages within the
+   crash budget, surfaces the degraded coverage window as trace events,
+   recovers, and still exits 0.
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import ClusteringService, ServiceConfig, snapshots_equal
+from repro.serve.broker import POLICY_SHED_OLDEST
+from repro.sim.faults import FaultPlan
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _spawn_serve(*args):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _wait_for(condition, timeout, message):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if condition():
+            return
+        time.sleep(0.05)
+    pytest.fail(message)
+
+
+# ----------------------------------------------------------------------
+# 1. SIGTERM graceful drain (real subprocess, real signal)
+# ----------------------------------------------------------------------
+def test_sigterm_drains_and_exits_zero(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    snapshot = tmp_path / "final.json"
+    # a stream long enough (64k readings at 400/s) that SIGTERM lands mid-run
+    proc = _spawn_serve(
+        "--n", "16", "--rounds", "4000", "--rate", "400",
+        "--checkpoint-dir", str(ckpt), "--checkpoint-every", "50",
+        "--snapshot-out", str(snapshot),
+    )
+    try:
+        _wait_for(
+            lambda: list(ckpt.glob("ckpt-*.bin")),
+            timeout=30,
+            message="service never wrote a periodic checkpoint",
+        )
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, stderr
+    assert "exit 0 (sigterm)" in stderr
+    # the drain epilogue wrote a final checkpoint and the exit snapshot
+    assert list(ckpt.glob("ckpt-*.bin"))
+    assert json.loads(snapshot.read_text())["digest"]
+
+
+# ----------------------------------------------------------------------
+# 2. kill-and-resume snapshot equivalence
+# ----------------------------------------------------------------------
+def _base_config(tmp_path, **overrides):
+    defaults = dict(
+        n=16, seed=7, rounds=60, delta=0.35, slack=0.05, bootstrap_rounds=8
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def test_kill_and_resume_matches_uninterrupted(tmp_path):
+    uninterrupted = ClusteringService(_base_config(tmp_path))
+    assert uninterrupted.run() == 0
+    reference = uninterrupted.pipeline.snapshot()
+
+    ckpt = tmp_path / "ckpt"
+    victim = ClusteringService(
+        _base_config(
+            tmp_path,
+            rate=2500.0,  # paced, so the kill lands mid-stream
+            checkpoint_dir=str(ckpt),
+            checkpoint_every_readings=150,
+        )
+    )
+
+    async def run_and_kill():
+        task = asyncio.ensure_future(victim.run_async())
+        while victim.checkpoints.writes < 2 and not task.done():
+            await asyncio.sleep(0.01)
+        assert not task.done(), "stream ended before the kill — slow the rate"
+        # SIGKILL analogue: abrupt cancellation, no drain, no final checkpoint
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        await victim.supervisor.cancel()  # process death takes the stages too
+
+    asyncio.run(run_and_kill())
+    killed_at = victim.pipeline.applied_total
+    assert 0 < killed_at < victim.stream.total_readings
+
+    resumed = ClusteringService(
+        _base_config(tmp_path, checkpoint_dir=str(ckpt), resume=True)
+    )
+    assert resumed.run() == 0
+    recovered = resumed.pipeline.snapshot()
+    assert snapshots_equal(reference, recovered), (
+        f"killed at {killed_at}: {reference['digest']} != {recovered['digest']}"
+    )
+    # the resume actually skipped work: it did not replay the whole stream
+    resumed_applied = resumed.ctx.metrics.counter("serve.applied_total").value
+    assert resumed_applied < resumed.stream.total_readings
+
+
+def test_resume_without_checkpoint_is_a_fresh_run(tmp_path):
+    service = ClusteringService(
+        _base_config(tmp_path, checkpoint_dir=str(tmp_path / "empty"), resume=True)
+    )
+    assert service.run() == 0
+    assert service.pipeline.applied_total == service.stream.total_readings
+
+
+# ----------------------------------------------------------------------
+# 3. chaos acceptance: crashes + stalls at a fixed seed
+# ----------------------------------------------------------------------
+def test_chaos_run_recovers_and_exits_zero(tmp_path):
+    plan = FaultPlan.random_service(
+        seed=11,
+        positions=(140, 700),
+        stages=["pipeline", "ingest:src-0", "ingest:src-1"],
+        stage_crashes=3,
+        sources=["src-0", "src-1"],
+        stalls=2,
+        stall_duration=0.1,
+        malformed=3,
+    )
+    service = ClusteringService(
+        _base_config(
+            tmp_path,
+            rounds=60,
+            sources=2,
+            rate=3000.0,
+            queue_size=48,
+            backpressure=POLICY_SHED_OLDEST,
+            chaos_plan=plan,
+            backoff_base=0.02,
+        )
+    )
+    assert service.run() == 0
+
+    # every injected crash was absorbed by a supervised restart
+    assert service.supervisor.total_restarts() == 3
+    assert not service.supervisor.failed.is_set()
+    counters = {
+        "malformed": service.ctx.metrics.counter("serve.malformed_total").value,
+        "restarts": service.ctx.metrics.counter("serve.stage_restarts").value,
+    }
+    assert counters == {"malformed": 3, "restarts": 3}
+
+    # the damage was visible while it lasted: coverage dipped below 1 and
+    # the degraded window closed with a recovery before exit
+    types = [e.type for e in service.ctx.tracer.events()]
+    assert "serve.degraded" in types
+    assert types.index("serve.degraded") < types.index("serve.recovered")
+    assert service.pipeline.coverage() == pytest.approx(1.0)
+    assert service.pipeline.num_clusters > 0
+
+    # health endpoint reflects the history
+    health = service.health()
+    assert health["status"] == "ok"
+    assert sum(health["stage_restarts"].values()) == 3
+
+
+def test_crash_budget_exhaustion_fails_fast(tmp_path):
+    plan = FaultPlan()
+    for position in (40, 50, 60, 70):
+        plan.stage_crash(position, "pipeline")
+    service = ClusteringService(
+        _base_config(
+            tmp_path, rounds=30, rate=2000.0, crash_budget=2, backoff_base=0.01,
+            chaos_plan=plan,
+        )
+    )
+    assert service.run() == 1
+    assert service.supervisor.stages["pipeline"].failed
+    assert any(e.type == "serve.stage_giveup" for e in service.ctx.tracer.events())
+
+
+# ----------------------------------------------------------------------
+# query API over a real socket
+# ----------------------------------------------------------------------
+def test_api_answers_healthz_and_range_over_tcp(tmp_path):
+    service = ClusteringService(
+        _base_config(tmp_path, rounds=80, rate=4000.0, port=0)
+    )
+
+    async def scenario():
+        task = asyncio.ensure_future(service.run_async())
+        while service.api.port == 0 and not task.done():
+            await asyncio.sleep(0.01)
+        while service.pipeline.session is None and not task.done():
+            await asyncio.sleep(0.01)
+        assert not task.done(), "stream ended before the query — raise rounds"
+        reader, writer = await asyncio.open_connection("127.0.0.1", service.api.port)
+
+        async def ask(request):
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            return json.loads(await asyncio.wait_for(reader.readline(), timeout=5))
+
+        health = await ask({"op": "healthz"})
+        ranged = await ask({"op": "range", "q": [0.5], "radius": 0.3})
+        bad = await ask({"op": "range"})
+        writer.close()
+        code = await task
+        return health, ranged, bad, code
+
+    health, ranged, bad, code = asyncio.run(scenario())
+    assert code == 0
+    assert health["ready"] is True and health["clusters"] > 0
+    assert isinstance(ranged["matches"], list)
+    assert ranged["staleness"]["updates_behind"] <= 500
+    assert bad["error"] == "bad_request"

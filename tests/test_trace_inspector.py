@@ -184,3 +184,64 @@ def test_cli_node_timeline_and_filters(capsys):
     assert trace_main([str(FIXTURE), "--type", "node.crash"]) == 0
     out = capsys.readouterr().out
     assert "node.crash" in out
+
+
+# ----------------------------------------------------------------------
+# serve.* rollup (live-service traces)
+# ----------------------------------------------------------------------
+SERVE_FIXTURE = pathlib.Path(__file__).parent / "data" / "serve_chaos.jsonl"
+
+
+def test_serve_report_on_hand_built_trace():
+    events = [
+        _event(0.0, "serve.start", n=4),
+        _event(0.1, "serve.stage_crash", "pipeline", stage="pipeline", error="boom"),
+        _event(0.1, "serve.stage_restart", "pipeline", stage="pipeline", backoff=0.05),
+        _event(0.2, "serve.degraded", coverage=0.5),
+        _event(0.3, "serve.shed_episode", "pipeline", topic="readings", count=7),
+        _event(0.4, "serve.recovered", coverage=1.0),
+        _event(0.5, "serve.checkpoint_write", seq=100, bytes=10),
+        _event(0.6, "serve.exit", code=0, reason="stream_end"),
+    ]
+    report = TraceInspector(events).serve_report()
+    assert report["stage_crashes"] == {"pipeline": 1}
+    assert report["shed_total"]["pipeline"] == 7
+    assert report["checkpoint_writes"] == 1
+    assert report["checkpoint_last_seq"] == 100
+    [episode] = report["degraded_episodes"]
+    assert episode["floor"] == 0.5
+    assert episode["duration"] == pytest.approx(0.2)
+    assert report["exit"] == {"time": 0.6, "code": 0, "reason": "stream_end"}
+
+
+def test_serve_report_absent_without_serve_events():
+    inspector = TraceInspector([_event(0.0, "msg.send", 1, dst=2)])
+    assert inspector.serve_report() is None
+    assert "no serve.* events" in inspector.serve_text()
+
+
+def test_serve_fixture_smoke(capsys):
+    assert SERVE_FIXTURE.is_file(), "regenerate per tests/data/README.md"
+    assert trace_main([str(SERVE_FIXTURE), "--serve"]) == 0
+    out = capsys.readouterr().out
+    assert "stage crashes/restarts:" in out
+    assert "checkpoints:" in out
+    assert "recovered" in out
+    # the rollup also rides along in the default summary
+    assert trace_main([str(SERVE_FIXTURE)]) == 0
+    assert "serve:" in capsys.readouterr().out
+
+
+def test_serve_fixture_degraded_window_recovers():
+    report = TraceInspector.from_jsonl(str(SERVE_FIXTURE)).serve_report()
+    assert sum(report["stage_crashes"].values()) >= 1
+    assert report["checkpoint_writes"] >= 1
+    assert report["degraded_episodes"], "chaos fixture must contain a degraded window"
+    assert all(e["end"] is not None for e in report["degraded_episodes"])
+    assert report["exit"]["code"] == 0
+
+
+def test_stage_names_resolve_in_timelines(capsys):
+    assert trace_main([str(SERVE_FIXTURE), "--node", "pipeline"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline of node 'pipeline'" in out
