@@ -7,7 +7,8 @@ Usage (also available as ``python -m repro``):
                   --delta 0.05 --save state.json
     repro cluster --dataset synthetic --n 100 --algorithm elink-explicit \
                   --delta 0.1 --crash 0.05 --trace chaos.jsonl
-    repro query --state state.json --node 17 --radius 0.06
+    repro query --state state.json --node 17 --radius 0.06 --explain
+    repro query-bench --quick --jobs 2
     repro experiment fig10
     repro trace chaos.jsonl --repairs
     repro verify --replay --n 49 --crash 0.08 --seed 11
@@ -27,7 +28,11 @@ runs the correctness oracle — invariant-monitored chaos runs and the
 artifact cache used by the experiment runner's ``--cache`` flag (see
 docs/ARCHITECTURE.md, "Performance layer"); ``serve`` runs the
 long-running supervised clustering service — streaming ingest,
-checkpoint/restore, chaos hooks and a query API (see docs/SERVING.md).
+checkpoint/restore, chaos hooks and a query API (see docs/SERVING.md);
+``query-bench`` replays seed-deterministic zipfian workloads through the
+cost-model query planner and records p50/p99 latency, queries/sec and
+messages/query in the BENCH schema-4 ``queries`` block (see
+docs/QUERYING.md).
 """
 
 from __future__ import annotations
@@ -90,6 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--node", help="query with this node's feature")
     group.add_argument("--feature", help="comma-separated query feature values")
     query.add_argument("--radius", type=float, required=True)
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="choose the plan with the cost-model planner and print its "
+        "estimated vs actual message cost",
+    )
+    query.add_argument(
+        "--backend",
+        choices=("mtree", "backbone", "flood"),
+        default=None,
+        help="force a plan backend instead of the planner's choice (implies --explain)",
+    )
 
     experiment = commands.add_parser("experiment", help="regenerate a paper figure")
     experiment.add_argument("name", help="fig08..fig15, complexity, path_query, or 'all'")
@@ -108,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands.add_parser(
         "serve", help="run the resilient live clustering service", add_help=False
+    )
+    commands.add_parser(
+        "query-bench",
+        help="replay planner workloads, record the BENCH queries block",
+        add_help=False,
     )
 
     commands.add_parser("info", help="print version and system inventory")
@@ -133,6 +155,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "query-bench":
+        from repro.queries.load import main as query_bench_main
+
+        return query_bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "cluster":
         return _cmd_cluster(args)
@@ -315,9 +341,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     mtree = build_mtree(clustering, features, metric)
     backbone = build_backbone(topology.graph, clustering)
-    engine = RangeQueryEngine(clustering, features, metric, mtree, backbone)
     initiator = next(iter(topology.graph.nodes))
-    out = engine.query(q, args.radius, initiator)
+    if args.explain or args.backend:
+        from repro.queries.planner import QueryPlanner
+
+        planner = QueryPlanner(
+            topology.graph, clustering, features, metric, mtree, backbone
+        )
+        planned = planner.range(q, args.radius, initiator, backend=args.backend)
+        print(planned.explain_text())
+        out = planned.result
+    else:
+        engine = RangeQueryEngine(clustering, features, metric, mtree, backbone)
+        out = engine.query(q, args.radius, initiator)
     print(f"matches ({len(out.matches)}): {sorted(out.matches, key=repr)[:30]}")
     print(
         f"cost: {out.messages} messages "

@@ -88,6 +88,12 @@ class MaintenanceSession:
         self.delta = delta
         self.slack = slack
         self.stats = MessageStats()
+        #: Structure generation: bumped whenever cluster membership or a
+        #: propagated root feature changes (detach/merge/singleton, root
+        #: broadcast, node removal).  Silent drift within the slack does
+        #: NOT bump it — that is the bounded-staleness window cached query
+        #: answers are allowed to span (see repro.queries.result_cache).
+        self.generation = 0
 
         self.features: dict[Hashable, np.ndarray] = {
             node: np.asarray(f, dtype=np.float64).copy() for node, f in features.items()
@@ -182,6 +188,9 @@ class MaintenanceSession:
             return "silent"
         # Root drifted beyond the slack: flood the new root feature down the
         # cluster tree (dim values per tree edge) and let members re-decide.
+        # The propagated pruning feature changes, so cached query answers
+        # keyed against the old structure are no longer servable.
+        self.generation += 1
         members = [n for n, r in self.assignment.items() if r == root and n != root]
         dim = new.shape[0]
         if members:
@@ -209,6 +218,7 @@ class MaintenanceSession:
         """
         if node not in self.assignment:
             return
+        self.generation += 1
         root = self.assignment.pop(node)
         self.parent.pop(node, None)
         self.features.pop(node, None)
@@ -226,6 +236,7 @@ class MaintenanceSession:
     # detach / merge
     # ------------------------------------------------------------------
     def _detach(self, node: Hashable) -> str:
+        self.generation += 1  # membership is about to change either way
         old_root = self.assignment[node]
         # Ask each neighbour for its cluster root feature (1 value out,
         # dim values back per neighbour), then join the best fit within δ.
@@ -364,6 +375,7 @@ class MaintenanceSession:
         return {
             "delta": self.delta,
             "slack": self.slack,
+            "generation": self.generation,
             "features": {n: f.copy() for n, f in self.features.items()},
             "assignment": dict(self.assignment),
             "parent": dict(self.parent),
@@ -384,6 +396,7 @@ class MaintenanceSession:
         session.metric = metric
         session.delta = float(state["delta"])
         session.slack = float(state["slack"])
+        session.generation = int(state.get("generation", 0))
         session.stats = MessageStats()
         session.stats.packets_by_kind.update(state["packets_by_kind"])
         session.stats.values_by_kind.update(state["values_by_kind"])

@@ -238,7 +238,7 @@ def _bench_payload(
 
     serial_wall = sum(wall for _name, _table, wall, _elapsed in results)
     payload = {
-        "schema": 3,
+        "schema": 4,
         "profile": profile,
         "jobs": jobs,
         "engine": default_engine(),

@@ -19,7 +19,12 @@ questions a misbehaving run raises:
 - *what did the live service endure?* — for traces from ``repro serve``:
   stage restarts, shed/backpressure episodes, source retries and stalls,
   checkpoint write/restore activity, and degraded-coverage windows with
-  their recovery times (:meth:`TraceInspector.serve_report`).
+  their recovery times (:meth:`TraceInspector.serve_report`);
+- *how were queries planned and cached?* — for traces with ``queries.*``
+  events from the cost-model planner: plan choices per backend and op,
+  estimate accuracy (mean and worst actual/estimated cost ratio), and
+  cache hit/miss traffic with the generation span it crossed
+  (:meth:`TraceInspector.queries_report`).
 
 CLI usage::
 
@@ -29,6 +34,7 @@ CLI usage::
     python -m repro trace run.jsonl --since 10 --until 40 --prefix elink.
     python -m repro trace run.jsonl --drops --repairs
     python -m repro trace serve.jsonl --serve        # live-service rollup
+    python -m repro trace serve.jsonl --queries      # planner/cache rollup
 """
 
 from __future__ import annotations
@@ -267,6 +273,91 @@ class TraceInspector:
                 open_degraded = None
         return report
 
+    def queries_report(self) -> dict[str, Any] | None:
+        """Rollup of the ``queries.*`` event family, or None if absent.
+
+        Summarizes the cost-model planner's behaviour over the trace:
+        how many queries ran per operation, which backend each plan
+        chose, how accurate the cost model was (``actual/estimated``
+        ratios over ``queries.execute`` events), and how the result
+        cache behaved (hits/misses and the structure-generation span
+        the trace covers).
+        """
+        queries = [e for e in self.events if e.type.startswith("queries.")]
+        if not queries:
+            return None
+        report: dict[str, Any] = {
+            "events": len(queries),
+            "executed": Counter(),
+            "plans": Counter(),
+            "cache_hits": Counter(),
+            "cache_misses": Counter(),
+            "generations": set(),
+        }
+        ratios: list[float] = []
+        for event in queries:
+            kind = event.type[len("queries."):]
+            data = event.data
+            if kind == "plan":
+                report["plans"][data.get("backend")] += 1
+            elif kind == "execute":
+                report["executed"][data.get("op")] += 1
+                estimated = data.get("estimated")
+                actual = data.get("actual")
+                if estimated and actual is not None:
+                    ratios.append(actual / estimated)
+            elif kind == "cache_hit":
+                report["cache_hits"][data.get("op")] += 1
+                report["generations"].add(data.get("generation"))
+            elif kind == "cache_miss":
+                report["cache_misses"][data.get("op")] += 1
+                report["generations"].add(data.get("generation"))
+        report["estimate_ratio_mean"] = (
+            round(sum(ratios) / len(ratios), 3) if ratios else None
+        )
+        report["estimate_ratio_worst"] = (
+            round(max(ratios), 3) if ratios else None
+        )
+        report["generations"] = sorted(
+            g for g in report["generations"] if g is not None
+        )
+        return report
+
+    def queries_text(self) -> str:
+        """Render the ``queries.*`` rollup (see :meth:`queries_report`)."""
+        report = self.queries_report()
+        if report is None:
+            return "no queries.* events in trace"
+        lines = [f"queries: {report['events']} events"]
+        if report["executed"]:
+            per_op = ", ".join(
+                f"{op}={count}" for op, count in sorted(report["executed"].items())
+            )
+            lines.append(f"  executed: {sum(report['executed'].values())} ({per_op})")
+        if report["plans"]:
+            per_backend = ", ".join(
+                f"{backend}={count}" for backend, count in sorted(report["plans"].items())
+            )
+            lines.append(f"  plans: {per_backend}")
+        if report["estimate_ratio_mean"] is not None:
+            lines.append(
+                f"  cost model: actual/estimated mean "
+                f"{report['estimate_ratio_mean']}x, worst "
+                f"{report['estimate_ratio_worst']}x"
+            )
+        hits, misses = report["cache_hits"], report["cache_misses"]
+        if hits or misses:
+            total = sum(hits.values()) + sum(misses.values())
+            rate = sum(hits.values()) / total if total else 0.0
+            lines.append(
+                f"  cache: {sum(hits.values())} hits, {sum(misses.values())} "
+                f"misses ({rate:.0%} hit rate)"
+            )
+        if report["generations"]:
+            first, last = report["generations"][0], report["generations"][-1]
+            lines.append(f"  structure generations seen: {first}..{last}")
+        return "\n".join(lines)
+
     def serve_text(self) -> str:
         """Render the ``serve.*`` rollup (see :meth:`serve_report`)."""
         report = self.serve_report()
@@ -357,6 +448,8 @@ class TraceInspector:
             ]
         if self.serve_report() is not None:
             lines += ["", self.serve_text()]
+        if self.queries_report() is not None:
+            lines += ["", self.queries_text()]
         return "\n".join(lines)
 
     def timeline_text(self, node: Any, limit: int | None = None) -> str:
@@ -441,6 +534,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--serve", action="store_true", help="print the serve.* rollup (live service runs)"
     )
+    parser.add_argument(
+        "--queries",
+        action="store_true",
+        help="print the queries.* rollup (cost-model planner and result cache)",
+    )
     return parser
 
 
@@ -470,6 +568,9 @@ def main(argv: list[str] | None = None) -> int:
             printed = True
         if args.serve:
             print(inspector.serve_text())
+            printed = True
+        if args.queries:
+            print(inspector.queries_text())
             printed = True
         if args.node is not None:
             print(inspector.timeline_text(_parse_node(args.node), limit=args.limit))

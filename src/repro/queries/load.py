@@ -1,0 +1,519 @@
+"""Seed-deterministic query workloads and the ``repro query-bench`` driver.
+
+The planner (:mod:`repro.queries.planner`) makes per-query cost choices;
+this module measures what those choices buy under load.  A *workload* is
+a reproducible list of range/k-NN/path queries: query centers follow a
+**zipfian popularity law** over the node population (rank nodes by
+``repr``, give rank *i* probability ``∝ 1/(i+1)^s`` — a handful of hot
+regions get most of the traffic, the tail stays warm, which is exactly
+the regime result caching pays off in), radii/k/γ cycle through small
+mixed sets, and the range/knn/path operation mix comes from a named
+profile in :data:`MIXES`.  Everything derives from
+``numpy.random.default_rng(seed)``, so the same spec always replays the
+same queries, in the same order, on any machine.
+
+Replay is *serial* (one planner, one process — the latency baseline) or
+*concurrent* (``--jobs N`` shards the workload over the warm process
+pool from :mod:`repro.perf.pool`; each worker memoizes the built scenario
+via :func:`repro.perf.memo.process_memo`, so it pays the
+cluster/index/planner build once, not per shard).  Both paths report
+**p50/p99 latency, queries/sec, and messages/query**, plus plan-choice
+and cache counters, into the BENCH schema-4 ``queries`` block written by
+:func:`run_bench` (merged into an existing ``BENCH_results.json`` when
+one is present).  A *warm* pass re-replays the workload against the
+now-populated result cache (hits must appear), then forces a maintenance
+invalidation — a node removal bumps the structure generation — and
+audits every subsequently served answer against a cache-bypassed
+recompute: ``stale_answers`` counts mismatches, and the serving contract
+requires **zero**.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Hashable, Mapping
+
+import numpy as np
+
+from repro._validation import require_int_at_least
+
+#: Operation mixes (fractions of range/knn/path traffic) the bench sweeps.
+MIXES: dict[str, dict[str, float]] = {
+    "range-heavy": {"range": 0.7, "knn": 0.2, "path": 0.1},
+    "balanced": {"range": 0.34, "knn": 0.33, "path": 0.33},
+    "path-knn": {"range": 0.2, "knn": 0.4, "path": 0.4},
+}
+
+#: BENCH artifact schema this module emits (schema 3 + the ``queries``
+#: block; see docs/QUERYING.md for the block's layout).
+BENCH_SCHEMA = 4
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The serving stack a workload replays against (picklable)."""
+
+    n: int = 60  # synthetic-dataset node count
+    seed: int = 42  # dataset seed
+    delta: float = 0.4  # ELink δ (a dozen-odd clusters on the default dataset)
+    cache_capacity: int = 4096  # result-cache entries
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One reproducible query stream (picklable)."""
+
+    mix: str  # key into MIXES
+    queries: int = 100
+    seed: int = 0
+    zipf_s: float = 1.1  # popularity skew (higher = hotter head)
+    radii: tuple[float, ...] = (0.5, 1.0, 2.0)
+    k_values: tuple[int, ...] = (1, 5, 10)
+    gamma: float = 0.5  # safe-path clearance
+
+
+@dataclass(frozen=True)
+class Query:
+    """One generated query; ``params`` match the planner method kwargs."""
+
+    op: str  # "range" | "knn" | "path"
+    params: tuple[tuple[str, Any], ...]  # sorted (name, value) pairs
+
+    def kwargs(self) -> dict[str, Any]:
+        """The planner call kwargs (feature tuples back to arrays)."""
+        params = dict(self.params)
+        for key in ("q", "danger"):
+            if key in params:
+                params[key] = np.asarray(params[key], dtype=np.float64)
+        return params
+
+
+def build_scenario(spec: ScenarioSpec) -> dict[str, Any]:
+    """Build the full serving stack for *spec* (deterministic).
+
+    Returns a dict with the planner, its result cache, the maintenance
+    session whose ``generation`` drives invalidation, and the raw parts
+    (graph/clustering/features/metric/mtree/backbone) for tests.
+    """
+    from repro.core import ELinkConfig, run_elink
+    from repro.core.maintenance import MaintenanceSession
+    from repro.datasets.synthetic import generate_synthetic_dataset
+    from repro.index import build_backbone, build_mtree
+    from repro.obs.metrics import MetricsRegistry
+    from repro.queries.planner import QueryPlanner
+    from repro.queries.result_cache import QueryResultCache
+
+    dataset = generate_synthetic_dataset(spec.n, seed=spec.seed)
+    metric = dataset.metric()
+    features = dataset.features
+    graph = dataset.topology.graph
+    clustering = run_elink(
+        dataset.topology, features, metric, ELinkConfig(delta=spec.delta)
+    ).clustering
+    mtree = build_mtree(clustering, features, metric)
+    backbone = build_backbone(graph, clustering)
+    metrics = MetricsRegistry()
+    cache = QueryResultCache(spec.cache_capacity, metrics=metrics)
+    session = MaintenanceSession(
+        graph, clustering, features, metric, spec.delta, spec.delta / 8
+    )
+    planner = QueryPlanner(
+        graph,
+        clustering,
+        features,
+        metric,
+        mtree,
+        backbone,
+        metrics=metrics,
+        cache=cache,
+        generation=lambda: session.generation,
+    )
+    return {
+        "planner": planner,
+        "cache": cache,
+        "session": session,
+        "metrics": metrics,
+        "graph": graph,
+        "clustering": clustering,
+        "features": features,
+        "metric": metric,
+        "mtree": mtree,
+        "backbone": backbone,
+    }
+
+
+def generate_workload(
+    nodes: list[Hashable],
+    features: Mapping[Hashable, np.ndarray],
+    spec: WorkloadSpec,
+) -> list[Query]:
+    """The deterministic query list for *spec* over *nodes*.
+
+    Nodes are ranked by ``repr`` (a machine-independent total order);
+    query centers, initiators, and path endpoints all draw from the same
+    zipfian rank distribution, so the popular region of the network is
+    both asked about and asked from.
+    """
+    if spec.mix not in MIXES:
+        raise KeyError(f"unknown mix {spec.mix!r}; choose from {sorted(MIXES)}")
+    require_int_at_least(spec.queries, 1, "queries")
+    mix = MIXES[spec.mix]
+    ranked = sorted(nodes, key=repr)
+    weights = np.array([1.0 / (i + 1) ** spec.zipf_s for i in range(len(ranked))])
+    weights /= weights.sum()
+    rng = np.random.default_rng(spec.seed)
+    ops = rng.choice(
+        sorted(mix), size=spec.queries, p=[mix[op] for op in sorted(mix)]
+    )
+
+    def pick() -> Hashable:
+        return ranked[int(rng.choice(len(ranked), p=weights))]
+
+    def center_feature() -> tuple[float, ...]:
+        return tuple(np.asarray(features[pick()], dtype=float).tolist())
+
+    queries: list[Query] = []
+    for op in ops:
+        if op == "range":
+            params: dict[str, Any] = {
+                "q": center_feature(),
+                "radius": float(spec.radii[int(rng.integers(len(spec.radii)))]),
+                "initiator": pick(),
+            }
+        elif op == "knn":
+            params = {
+                "q": center_feature(),
+                "k": int(spec.k_values[int(rng.integers(len(spec.k_values)))]),
+                "initiator": pick(),
+            }
+        else:  # path
+            params = {
+                "source": pick(),
+                "destination": pick(),
+                "danger": center_feature(),
+                "gamma": spec.gamma,
+            }
+        queries.append(Query(op, tuple(sorted(params.items()))))
+    return queries
+
+
+def _run_queries(
+    planner: Any, queries: list[Query]
+) -> tuple[list[float], int, int, dict[str, int]]:
+    """(per-query latencies, total messages, cache hits, plan counts)."""
+    latencies: list[float] = []
+    messages = 0
+    cached = 0
+    plans: dict[str, int] = {}
+    for query in queries:
+        t0 = time.perf_counter()
+        planned = getattr(planner, query.op)(**query.kwargs())
+        latencies.append(time.perf_counter() - t0)
+        messages += planned.messages
+        cached += 1 if planned.cached else 0
+        plans[planned.plan.backend] = plans.get(planned.plan.backend, 0) + 1
+    return latencies, messages, cached, plans
+
+
+def _percentiles(latencies: list[float]) -> dict[str, float]:
+    return {
+        "p50_ms": round(float(np.percentile(latencies, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(latencies, 99)) * 1e3, 3),
+    }
+
+
+def replay(planner: Any, queries: list[Query]) -> dict[str, Any]:
+    """Replay *queries* through *planner*; returns the per-run report.
+
+    Latencies are wall-clock per query (cache hits included — they are
+    what a client would see); ``messages_per_query`` averages the actual
+    network cost, so cache hits pull it down.
+    """
+    start = time.perf_counter()
+    latencies, messages, cached, plans = _run_queries(planner, queries)
+    elapsed = time.perf_counter() - start
+    return {
+        "count": len(queries),
+        **_percentiles(latencies),
+        "qps": round(len(queries) / elapsed, 1) if elapsed > 0 else None,
+        "messages_per_query": round(messages / len(queries), 1),
+        "plans": dict(sorted(plans.items())),
+        "cache_hits": cached,
+    }
+
+
+def _replay_shard(
+    scenario: ScenarioSpec, workload: WorkloadSpec, lo: int, hi: int
+) -> tuple[list[float], int, int]:
+    """Pool worker: replay queries [lo, hi) of *workload* on *scenario*.
+
+    The built scenario is memoized per process under its spec, so every
+    shard a worker executes after its first reuses the same planner —
+    the same warm-context contract the experiment runner's trials use.
+    """
+    from repro.perf.memo import process_memo
+
+    ctx = process_memo(("query-bench", scenario), lambda: build_scenario(scenario))
+    queries = generate_workload(list(ctx["graph"].nodes), ctx["features"], workload)
+    latencies, messages, cached, _plans = _run_queries(ctx["planner"], queries[lo:hi])
+    return latencies, messages, cached
+
+
+def replay_concurrent(
+    scenario: ScenarioSpec, workload: WorkloadSpec, jobs: int
+) -> dict[str, Any]:
+    """Replay *workload* sharded over a warm *jobs*-process pool."""
+    from repro.perf.pool import create_pool
+
+    require_int_at_least(jobs, 1, "jobs")
+    total = workload.queries
+    bounds = [(i * total // jobs, (i + 1) * total // jobs) for i in range(jobs)]
+    bounds = [(lo, hi) for lo, hi in bounds if hi > lo]
+    start = time.perf_counter()
+    with create_pool(len(bounds)) as pool:
+        futures = [
+            pool.submit(_replay_shard, scenario, workload, lo, hi)
+            for lo, hi in bounds
+        ]
+        outputs = [future.result() for future in futures]
+    elapsed = time.perf_counter() - start
+    latencies = [lat for lats, _m, _c in outputs for lat in lats]
+    messages = sum(m for _lats, m, _c in outputs)
+    cached = sum(c for _lats, _m, c in outputs)
+    return {
+        "count": total,
+        "jobs": jobs,
+        **_percentiles(latencies),
+        "qps": round(total / elapsed, 1) if elapsed > 0 else None,
+        "messages_per_query": round(messages / total, 1),
+        "cache_hits": cached,
+    }
+
+
+def warm_cache_pass(ctx: dict[str, Any], queries: list[Query]) -> dict[str, Any]:
+    """Re-replay against the warm cache, force an invalidation, audit freshness.
+
+    Three phases: (1) a warm re-run of *queries* (the cache was populated
+    by the cold run) counting hits; (2) a **forced maintenance
+    invalidation** — one member node is removed through the maintenance
+    session, which bumps the structure generation; (3) a freshness audit:
+    every query is served again and compared against a cache-bypassed
+    recompute of the same plan — a mismatch means a pre-invalidation
+    cache entry leaked through.  ``stale_answers`` counts mismatches and
+    the serving contract requires it to be 0 (the generation sweep in
+    :mod:`repro.queries.result_cache` guarantees it).
+    """
+    from repro.queries.planner import canonical_answer
+
+    planner, cache, session = ctx["planner"], ctx["cache"], ctx["session"]
+    hits_before = cache.hits
+    warm = replay(planner, queries)
+    warm_hits = cache.hits - hits_before
+
+    # Forced invalidation: removing a member changes membership, so the
+    # session bumps its generation and the next planner call sweeps.
+    victim = next(
+        (
+            node
+            for node in sorted(session.assignment, key=repr)
+            if node != session.assignment[node]  # prefer non-roots: cheap removal
+        ),
+        sorted(session.assignment, key=repr)[0],  # all-singleton clustering
+    )
+    generation_before = session.generation
+    session.remove_node(victim)
+    if session.generation <= generation_before:
+        raise AssertionError("node removal must bump the structure generation")
+
+    stale = 0
+    for query in queries:
+        served = getattr(planner, query.op)(**query.kwargs())
+        recomputed = getattr(planner, query.op)(
+            **query.kwargs(), backend=served.plan.backend
+        )
+        if canonical_answer(query.op, served.result) != canonical_answer(
+            query.op, recomputed.result
+        ):
+            stale += 1
+    return {
+        "hits": warm_hits,
+        "p50_ms": warm["p50_ms"],
+        "messages_per_query": warm["messages_per_query"],
+        "invalidations": cache.invalidations,
+        "audited": len(queries),
+        "stale_answers": stale,
+    }
+
+
+def validate_queries_block(block: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless *block* is a well-formed ``queries`` block."""
+    for field in ("scenario", "mixes"):
+        if field not in block:
+            raise ValueError(f"queries block missing {field!r}")
+    mixes = block["mixes"]
+    if len(mixes) < 3:
+        raise ValueError(f"queries block needs >= 3 mixes, got {sorted(mixes)}")
+    for name, mix in mixes.items():
+        if "serial" not in mix:
+            raise ValueError(f"mix {name!r} missing the serial report")
+        for report_name, report in mix.items():
+            for field in ("p50_ms", "p99_ms", "qps", "messages_per_query"):
+                if field not in report:
+                    raise ValueError(f"{name}.{report_name} missing {field!r}")
+    warm = block.get("warm")
+    if warm is not None and warm.get("stale_answers", 0) != 0:
+        raise ValueError(f"stale answers served: {warm['stale_answers']}")
+
+
+def run_bench(
+    scenario: ScenarioSpec,
+    *,
+    queries: int = 100,
+    seed: int = 0,
+    jobs: int = 1,
+    mixes: list[str] | None = None,
+    bench_out: str = "BENCH_results.json",
+    no_bench: bool = False,
+) -> dict[str, Any]:
+    """Run the full query bench; returns (and optionally writes) the block.
+
+    Sweeps every mix in :data:`MIXES` (or *mixes*): cold serial replay,
+    an optional concurrent replay (*jobs* > 1), and — for the first mix —
+    the warm-cache/forced-invalidation pass.  The resulting ``queries``
+    block is merged into ``BENCH_results.json`` (preserving an existing
+    runner payload, bumping its schema to :data:`BENCH_SCHEMA`) unless
+    *no_bench* is set.
+    """
+    from repro.perf.meta import environment_metadata
+
+    ctx = build_scenario(scenario)
+    names = mixes if mixes is not None else sorted(MIXES)
+    block: dict[str, Any] = {
+        "scenario": {
+            **asdict(scenario),
+            "clusters": ctx["clustering"].num_clusters,
+        },
+        "workload": {"queries": queries, "seed": seed},
+        "mixes": {},
+    }
+    nodes = list(ctx["graph"].nodes)
+    for index, name in enumerate(names):
+        spec = WorkloadSpec(mix=name, queries=queries, seed=seed)
+        workload = generate_workload(nodes, ctx["features"], spec)
+        entry: dict[str, Any] = {"serial": replay(ctx["planner"], workload)}
+        if jobs > 1:
+            entry["concurrent"] = replay_concurrent(scenario, spec, jobs)
+        block["mixes"][name] = entry
+        if index == 0:
+            block["warm"] = warm_cache_pass(ctx, workload)
+            # The forced invalidation removed a node from this scenario's
+            # maintenance state; rebuild so later mixes see the pristine
+            # structure (their numbers must not depend on mix order).
+            ctx = build_scenario(scenario)
+    validate_queries_block(block)
+
+    if not no_bench:
+        payload: dict[str, Any] = {}
+        if os.path.exists(bench_out):
+            try:
+                with open(bench_out, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                payload = {}
+        if not payload:
+            payload = {"environment": environment_metadata()}
+        payload["schema"] = BENCH_SCHEMA
+        payload["queries"] = block
+        with open(bench_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return block
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro query-bench`` entry point (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro query-bench",
+        description="replay seed-deterministic query workloads through the "
+        "cost-model planner and record the BENCH schema-4 queries block",
+    )
+    parser.add_argument("--n", type=int, default=60, help="scenario node count")
+    parser.add_argument("--seed", type=int, default=42, help="scenario dataset seed")
+    parser.add_argument("--delta", type=float, default=0.4, help="clustering threshold")
+    parser.add_argument(
+        "--queries", type=int, default=100, help="queries per workload mix"
+    )
+    parser.add_argument(
+        "--workload-seed", type=int, default=0, help="workload generator seed"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="also replay each mix sharded over an N-process warm pool",
+    )
+    parser.add_argument(
+        "--mix",
+        action="append",
+        choices=sorted(MIXES),
+        default=None,
+        help="workload mix to run (repeatable; default: all mixes)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the scenario and workload (CI smoke profile)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default="BENCH_results.json",
+        metavar="PATH",
+        help="BENCH artifact to merge the queries block into",
+    )
+    parser.add_argument(
+        "--no-bench", action="store_true", help="skip writing the benchmark artifact"
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    n, queries = args.n, args.queries
+    if args.quick:
+        n, queries = min(n, 40), min(queries, 40)
+    scenario = ScenarioSpec(n=n, seed=args.seed, delta=args.delta)
+    block = run_bench(
+        scenario,
+        queries=queries,
+        seed=args.workload_seed,
+        jobs=args.jobs,
+        mixes=args.mix,
+        bench_out=args.bench_out,
+        no_bench=args.no_bench,
+    )
+    print(
+        f"scenario: n={n} seed={args.seed} delta={args.delta} "
+        f"({block['scenario']['clusters']} clusters), {queries} queries/mix"
+    )
+    for name, entry in block["mixes"].items():
+        for kind, report in entry.items():
+            plans = report.get("plans")
+            plans_text = f" plans={plans}" if plans else f" jobs={report['jobs']}"
+            print(
+                f"  {name:<12} {kind:<10} p50 {report['p50_ms']}ms  "
+                f"p99 {report['p99_ms']}ms  {report['qps']} q/s  "
+                f"{report['messages_per_query']} msg/q{plans_text}"
+            )
+    warm = block["warm"]
+    print(
+        f"  warm cache: {warm['hits']} hits, p50 {warm['p50_ms']}ms, "
+        f"{warm['messages_per_query']} msg/q; after forced invalidation: "
+        f"{warm['invalidations']} entries swept, "
+        f"{warm['stale_answers']}/{warm['audited']} stale answers"
+    )
+    if not args.no_bench:
+        print(f"[wrote {args.bench_out}: schema {BENCH_SCHEMA} queries block]")
+    return 0

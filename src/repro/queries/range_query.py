@@ -151,6 +151,42 @@ class RangeQueryEngine:
                     stack.append(neighbor)
         return seen
 
+    def fanout_preview(
+        self, q: np.ndarray, radius: float, initiator: Hashable
+    ) -> tuple[int, list[Hashable], int]:
+        """Dry-run the fault-free backbone fan-out without charging messages.
+
+        Returns ``(entry_hops, visited_roots, backbone_hops)`` — the
+        cluster-tree hops from *initiator* to its root, the backbone roots
+        the query would reach after directional-summary pruning, and the
+        total backbone hops those traversals cost.  This is the exact
+        fan-out term of the query's message cost; the planner
+        (:mod:`repro.queries.planner`) uses it to estimate the M-tree
+        plan's cost from the same statistics the engine itself prunes
+        with, leaving only the per-cluster descent cost to be modeled.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        origin_root = self.clustering.root_of(initiator)
+        entry_hops = len(self.clustering.path_to_root(initiator)) - 1
+        start = self._replacements.get(origin_root, origin_root)
+        visited: list[Hashable] = [start]
+        backbone_hops = 0
+        stack = [start]
+        seen = {start}
+        while stack:
+            current = stack.pop()
+            for neighbor in self.backbone.tree.neighbors(current):
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                center, ball_radius = self._ball_toward(current, neighbor)
+                if self.metric.distance(q, center) > radius + ball_radius:
+                    continue
+                backbone_hops += self.backbone.edge_hops(current, neighbor)
+                visited.append(neighbor)
+                stack.append(neighbor)
+        return entry_hops, visited, backbone_hops
+
     def query(
         self, q: np.ndarray, radius: float, initiator: Hashable
     ) -> RangeQueryResult:

@@ -1,12 +1,17 @@
-"""Query API: range/path/snapshot/healthz over the live clustering state.
+"""Query API: range/knn/path/snapshot/healthz over the live clustering state.
 
-:class:`QueryService` answers queries against index structures (M-tree +
-backbone) built lazily from the pipeline's maintenance state and rebuilt
-under an explicit **staleness bound**: a query is never answered from
-engines more than ``staleness_updates`` maintenance updates behind the
-live state, and every response reports how stale its view actually was.
-Before the bootstrap clustering exists, queries return a structured
-``not_ready`` error rather than blocking.
+:class:`QueryService` routes every query through the **cost-model query
+planner** (:mod:`repro.queries.planner`), built lazily from the
+pipeline's maintenance state and rebuilt under an explicit **staleness
+bound**: a query is never answered from a planner more than
+``staleness_updates`` maintenance updates behind the live state, and
+every response reports how stale its view actually was plus the plan the
+planner chose (backend + estimated vs actual message cost).  Answers are
+memoized in a :class:`~repro.queries.result_cache.QueryResultCache` that
+survives planner rebuilds; the maintenance session's structure
+generation invalidates it, so a cached answer is never served across a
+membership change.  Before the bootstrap clustering exists, queries
+return a structured ``not_ready`` error rather than blocking.
 
 :class:`ApiServer` exposes the same operations over a newline-delimited
 JSON TCP protocol (``{"op": "range", "q": [...], "radius": ...}`` in,
@@ -24,8 +29,8 @@ import numpy as np
 
 from repro.index.backbone import build_backbone
 from repro.index.mtree import build_mtree
-from repro.queries.path_query import PathQueryEngine
-from repro.queries.range_query import RangeQueryEngine
+from repro.queries.planner import PlannedResult, QueryPlanner
+from repro.queries.result_cache import QueryResultCache
 from repro.serve.context import ServeContext
 from repro.serve.pipeline import ClusteringPipeline
 
@@ -62,8 +67,8 @@ class QueryService:
         self.staleness_updates = staleness_updates
         self._health = health
         self._built_version = -1
-        self._range: RangeQueryEngine | None = None
-        self._path: PathQueryEngine | None = None
+        self._planner: QueryPlanner | None = None
+        self._cache = QueryResultCache(metrics=ctx.metrics)
         self._by_name: dict[str, Hashable] = {str(n): n for n in pipeline.nodes}
         self.rebuilds = 0
 
@@ -73,29 +78,45 @@ class QueryService:
             raise KeyError(f"unknown node {name!r}")
         return node
 
-    def _engines(self) -> tuple[RangeQueryEngine, PathQueryEngine]:
+    def _get_planner(self) -> QueryPlanner:
         session = self.pipeline.session
         if session is None:
             raise NotReadyError("clustering not bootstrapped yet")
         behind = self.pipeline.version - self._built_version
-        if self._range is None or behind > self.staleness_updates:
+        if self._planner is None or behind > self.staleness_updates:
             clustering = session.current_clustering()
             features = session.features
             metric = self.pipeline.metric
             mtree = build_mtree(clustering, features, metric)
             backbone = build_backbone(self.pipeline.graph, clustering)
-            self._range = RangeQueryEngine(
-                clustering, features, metric, mtree, backbone, metrics=self.ctx.metrics
-            )
-            self._path = PathQueryEngine(
-                self.pipeline.graph, clustering, features, metric, mtree,
+            # The result cache outlives planner rebuilds: its entries are
+            # keyed by query content and swept by the session's structure
+            # generation, not by which planner instance computed them.
+            self._planner = QueryPlanner(
+                self.pipeline.graph,
+                clustering,
+                features,
+                metric,
+                mtree,
+                backbone,
                 metrics=self.ctx.metrics,
+                emit=self.ctx.emit,
+                cache=self._cache,
+                generation=lambda: session.generation,
             )
             self._built_version = self.pipeline.version
             self.rebuilds += 1
             self.ctx.metrics.counter("serve.engine_rebuilds").inc()
             self.ctx.emit("serve.engine_rebuild", version=self.pipeline.version)
-        return self._range, self._path
+        return self._planner
+
+    def _plan_info(self, planned: PlannedResult) -> dict[str, Any]:
+        return {
+            "backend": planned.plan.backend,
+            "reason": planned.plan.reason,
+            "estimated": round(planned.estimated, 1),
+            "cached": planned.cached,
+        }
 
     def _staleness(self) -> dict[str, Any]:
         return {
@@ -105,34 +126,57 @@ class QueryService:
         }
 
     def range_query(self, q, radius: float, initiator: Any | None = None) -> dict[str, Any]:
-        """Range query; returns matches, message cost, coverage, staleness."""
-        engine, _ = self._engines()
+        """Range query; returns matches, cost, coverage, plan, staleness."""
+        planner = self._get_planner()
         start = self._resolve(initiator) if initiator is not None else self.pipeline.nodes[0]
-        result = engine.query(np.asarray(q, dtype=np.float64), float(radius), start)
+        planned = planner.range(np.asarray(q, dtype=np.float64), float(radius), start)
+        result = planned.result
         self.ctx.metrics.counter("serve.queries.range").inc()
         return {
             "matches": sorted(str(node) for node in result.matches),
-            "messages": result.messages,
+            "messages": planned.messages,
             "coverage": result.coverage,
             "drops": result.drops,
+            "plan": self._plan_info(planned),
+            "staleness": self._staleness(),
+        }
+
+    def knn_query(self, q, k: int, initiator: Any | None = None) -> dict[str, Any]:
+        """k-NN query; returns ranked neighbors, cost, plan, staleness."""
+        planner = self._get_planner()
+        start = self._resolve(initiator) if initiator is not None else self.pipeline.nodes[0]
+        planned = planner.knn(np.asarray(q, dtype=np.float64), int(k), start)
+        result = planned.result
+        self.ctx.metrics.counter("serve.queries.knn").inc()
+        return {
+            "neighbors": [
+                {"node": str(node), "distance": round(dist, 9)}
+                for node, dist in result.neighbors
+            ],
+            "messages": planned.messages,
+            "coverage": result.coverage,
+            "drops": result.drops,
+            "plan": self._plan_info(planned),
             "staleness": self._staleness(),
         }
 
     def path_query(self, source: Any, destination: Any, danger, gamma: float) -> dict[str, Any]:
-        """Safe-path query; returns the path (or None), cost, staleness."""
-        _, engine = self._engines()
-        result = engine.query(
+        """Safe-path query; returns the path (or None), cost, plan, staleness."""
+        planner = self._get_planner()
+        planned = planner.path(
             self._resolve(source),
             self._resolve(destination),
             np.asarray(danger, dtype=np.float64),
             float(gamma),
         )
+        result = planned.result
         self.ctx.metrics.counter("serve.queries.path").inc()
         return {
             "path": None if result.path is None else [str(n) for n in result.path],
-            "messages": result.messages,
+            "messages": planned.messages,
             "coverage": result.coverage,
             "drops": result.drops,
+            "plan": self._plan_info(planned),
             "staleness": self._staleness(),
         }
 
@@ -157,6 +201,8 @@ class QueryService:
         try:
             if op == "range":
                 return self.range_query(request["q"], request["radius"], request.get("initiator"))
+            if op == "knn":
+                return self.knn_query(request["q"], request["k"], request.get("initiator"))
             if op == "path":
                 return self.path_query(
                     request["source"], request["destination"], request["danger"], request["gamma"]

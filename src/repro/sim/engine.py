@@ -128,11 +128,13 @@ class ArrayNetwork(Network):
         self._bcast_ok = self._batch and self._tracer is None and self.energy is None
 
     def register(self, node_id, handler) -> None:
+        """Register *handler* and cache its bound dispatch method."""
         super().register(node_id, handler)
         self._dispatch[node_id] = handler.handle_message
 
     @Network.tracer.setter
     def tracer(self, tracer) -> None:
+        """Attach *tracer*, re-folding the batched-broadcast guard."""
         Network.tracer.fset(self, tracer)
         self._bcast_ok = self._batch and tracer is None and self.energy is None
 

@@ -87,3 +87,151 @@ def test_knn_correctness_property(seed, k):
     result = engine.query(q, k, initiator=0)
     truth = brute_force_knn(features, metric, q, k)
     assert [n for n, _ in result.neighbors] == [n for n, _ in truth]
+
+
+# ----------------------------------------------------------------------
+# degraded operation: dead nodes, coverage, drop-reason agreement
+# ----------------------------------------------------------------------
+from repro.obs.metrics import MetricsRegistry
+
+
+def _fault_knn(topology, features, delta, dead=None, root_replacements=None, metrics=None):
+    metric = EuclideanMetric()
+    clustering = run_elink(topology, features, metric, ELinkConfig(delta=delta)).clustering
+    mtree = build_mtree(clustering, features, metric)
+    backbone = build_backbone(topology.graph, clustering)
+    engine = KnnQueryEngine(
+        clustering,
+        features,
+        metric,
+        mtree,
+        backbone,
+        dead=dead,
+        root_replacements=root_replacements,
+        metrics=metrics,
+    )
+    return engine, clustering, backbone, metric
+
+
+def test_knn_fault_free_reports_full_coverage(random_topology, random_features):
+    engine, metric = _engine_for(random_topology, random_features)
+    out = engine.query(np.zeros(2), 5, initiator=0)
+    assert out.coverage == 1.0
+    assert out.drops == 0
+
+
+def test_knn_dead_backbone_leaf_partial_coverage(random_topology, random_features):
+    engine, clustering, backbone, metric = _fault_knn(
+        random_topology, random_features, delta=1.5
+    )
+    if clustering.num_clusters < 2:
+        pytest.skip("single-cluster instance")
+    dead = next(r for r in clustering.roots if backbone.tree.degree(r) == 1)
+    engine, clustering, backbone, metric = _fault_knn(
+        random_topology, random_features, delta=1.5, dead={dead}
+    )
+    initiator = next(
+        n for n in random_topology.graph.nodes if clustering.root_of(n) != dead
+    )
+    n = random_topology.num_nodes
+    out = engine.query(np.zeros(2), n, initiator)
+    lost = set(clustering.members(dead))
+    alive = set(random_topology.graph.nodes) - {dead}
+    # The severed cluster never answers; everyone else does.
+    assert {node for node, _ in out.neighbors} == alive - lost
+    expected = 1.0 - (len(lost) - 1) / len(alive)
+    assert out.coverage == pytest.approx(expected)
+    assert out.drops > 0
+
+
+def test_knn_dead_origin_root_answers_locally(random_topology, random_features):
+    engine, clustering, backbone, metric = _fault_knn(
+        random_topology, random_features, delta=1.5
+    )
+    dead = next(
+        (r for r in clustering.roots if len(clustering.members(r)) >= 2), None
+    )
+    if dead is None or clustering.num_clusters < 2:
+        pytest.skip("needs a surviving cluster member and >1 cluster")
+    members = set(clustering.members(dead))
+    engine, clustering, backbone, metric = _fault_knn(
+        random_topology, random_features, delta=1.5, dead={dead}
+    )
+    initiator = next(m for m in members if m != dead)
+    out = engine.query(np.zeros(2), len(members) + 5, initiator)
+    # Only the initiator's surviving cluster-mates are ranked.
+    assert {node for node, _ in out.neighbors} == members - {dead}
+    alive = random_topology.num_nodes - 1
+    assert out.coverage == pytest.approx((len(members) - 1) / alive)
+    assert out.drops >= 1  # the dead_root drop
+
+
+def test_knn_replacement_root_restores_full_coverage(random_topology, random_features):
+    engine, clustering, backbone, metric = _fault_knn(
+        random_topology, random_features, delta=1.5
+    )
+    if clustering.num_clusters < 2:
+        pytest.skip("single-cluster instance")
+    dead = next(
+        (
+            r
+            for r in clustering.roots
+            if backbone.tree.degree(r) >= 1 and len(clustering.members(r)) >= 2
+        ),
+        None,
+    )
+    if dead is None:
+        pytest.skip("needs a surviving cluster member")
+    replacement = next(m for m in clustering.members(dead) if m != dead)
+    surviving = random_topology.graph.copy()
+    surviving.remove_node(dead)
+    mtree = build_mtree(clustering, random_features, metric)
+    backbone.reroute_around(surviving, dead, replacement)
+    engine = KnnQueryEngine(
+        clustering,
+        random_features,
+        metric,
+        mtree,
+        backbone,
+        dead={dead},
+        root_replacements={dead: replacement},
+    )
+    initiator = next(
+        n for n in surviving.nodes if clustering.root_of(n) != dead
+    )
+    out = engine.query(np.zeros(2), len(surviving.nodes), initiator)
+    assert {node for node, _ in out.neighbors} == set(surviving.nodes)
+    assert out.coverage == 1.0
+    truth = brute_force_knn(
+        {n: random_features[n] for n in surviving.nodes}, metric, np.zeros(2), 5
+    )
+    top5 = engine.query(np.zeros(2), 5, initiator)
+    assert [n for n, _ in top5.neighbors] == [n for n, _ in truth]
+
+
+def test_knn_drop_accounting_agrees_between_result_and_metrics(
+    random_topology, random_features
+):
+    """``KnnResult.drops`` equals the sum of the engine's
+    ``queries.drops.<reason>`` counters — the double-entry contract the
+    range engine established in the fault-tolerance PR."""
+    engine, clustering, backbone, metric = _fault_knn(
+        random_topology, random_features, delta=1.5
+    )
+    if clustering.num_clusters < 3:
+        pytest.skip("needs a few clusters")
+    dead = next(r for r in clustering.roots if backbone.tree.degree(r) == 1)
+    metrics = MetricsRegistry()
+    engine, clustering, backbone, metric = _fault_knn(
+        random_topology, random_features, delta=1.5, dead={dead}, metrics=metrics
+    )
+    initiator = next(
+        n for n in random_topology.graph.nodes if clustering.root_of(n) != dead
+    )
+    out = engine.query(np.zeros(2), 5, initiator)
+    counted = sum(
+        metric_dict["value"]
+        for name, metric_dict in metrics.snapshot().items()
+        if name.startswith("queries.drops.")
+    )
+    assert counted == out.drops > 0

@@ -1,0 +1,209 @@
+"""Tests for the cost-model query planner and its result cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.queries.load import ScenarioSpec, WorkloadSpec, build_scenario, generate_workload
+from repro.queries.planner import PLAN_BACKENDS, QueryPlanner, canonical_answer
+from repro.queries.result_cache import QueryResultCache
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """A seeded 50-node serving stack shared by the equivalence tests."""
+    return build_scenario(ScenarioSpec(n=50, seed=42, delta=0.4))
+
+
+def _workload(scenario, mix="balanced", queries=24, seed=3):
+    spec = WorkloadSpec(mix=mix, queries=queries, seed=seed)
+    return generate_workload(
+        sorted(scenario["graph"].nodes, key=repr), scenario["features"], spec
+    )
+
+
+# ----------------------------------------------------------------------
+# plan choice: argmin over the estimates, deterministic tie-break
+# ----------------------------------------------------------------------
+
+
+@given(
+    est=st.lists(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        min_size=3,
+        max_size=3,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_choice_is_argmin_with_backend_order_tiebreak(scenario, est):
+    estimates = dict(zip(PLAN_BACKENDS, est))
+    plan = scenario["planner"]._choose("range", estimates)
+    best = min(PLAN_BACKENDS, key=lambda b: (estimates[b], PLAN_BACKENDS.index(b)))
+    assert plan.backend == best
+    # The headline property: flood is never chosen when the backbone scan
+    # is strictly cheaper (and symmetrically for every backend pair).
+    for cheaper in PLAN_BACKENDS:
+        if estimates[cheaper] < estimates[plan.backend]:
+            pytest.fail(f"chose {plan.backend} over strictly cheaper {cheaper}")
+
+
+def test_planned_backend_minimizes_reported_estimates(scenario):
+    planner = scenario["planner"]
+    for query in _workload(scenario):
+        plan = getattr(planner, f"plan_{query.op}")(**query.kwargs())
+        assert plan.backend in PLAN_BACKENDS
+        assert plan.estimates[plan.backend] == min(plan.estimates.values())
+        assert plan.explain_text().startswith(f"plan {query.op}: {plan.backend}")
+
+
+# ----------------------------------------------------------------------
+# backend equivalence: byte-identical answers on seeded scenarios
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mix", ["range-heavy", "balanced", "path-knn"])
+def test_all_backends_agree_on_seeded_workloads(scenario, mix):
+    planner = scenario["planner"]
+    for query in _workload(scenario, mix=mix, queries=16, seed=11):
+        answers = {
+            backend: canonical_answer(
+                query.op,
+                getattr(planner, query.op)(**query.kwargs(), backend=backend).result,
+            )
+            for backend in PLAN_BACKENDS
+        }
+        assert answers["mtree"] == answers["backbone"] == answers["flood"], (
+            f"{query.op} answers diverge across backends: {query.params}"
+        )
+
+
+def test_auto_plan_matches_forced_backend(scenario):
+    planner = scenario["planner"]
+    for query in _workload(scenario, queries=12, seed=5):
+        auto = getattr(planner, query.op)(**query.kwargs())
+        forced = getattr(planner, query.op)(**query.kwargs(), backend=auto.plan.backend)
+        assert canonical_answer(query.op, auto.result) == canonical_answer(
+            query.op, forced.result
+        )
+
+
+def test_unknown_backend_rejected(scenario):
+    with pytest.raises(ValueError):
+        scenario["planner"].range(np.zeros(1), 0.5, 0, backend="oracle")
+
+
+# ----------------------------------------------------------------------
+# explain mode: chosen plan plus estimated-vs-actual message cost
+# ----------------------------------------------------------------------
+
+
+def test_explain_reports_estimated_and_actual_cost(scenario):
+    planned = scenario["planner"].range(np.zeros(1), 0.8, 0)
+    text = planned.explain_text()
+    assert planned.plan.backend in text
+    if planned.cached:
+        assert "served from cache" in text
+    else:
+        assert f"actual {planned.messages}" in text
+
+
+# ----------------------------------------------------------------------
+# result cache: hits, generation-driven invalidation, zero staleness
+# ----------------------------------------------------------------------
+
+
+def _fresh_ctx(n=40):
+    return build_scenario(ScenarioSpec(n=n, seed=42, delta=0.4))
+
+
+def test_repeat_query_served_from_cache():
+    ctx = _fresh_ctx()
+    planner, cache = ctx["planner"], ctx["cache"]
+    q = np.array([0.5])
+    cold = planner.range(q, 0.6, 0)
+    warm = planner.range(q, 0.6, 0)
+    assert not cold.cached and warm.cached
+    assert warm.messages == 0
+    assert warm.result is cold.result
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_forced_backend_bypasses_cache():
+    ctx = _fresh_ctx()
+    planner, cache = ctx["planner"], ctx["cache"]
+    q = np.array([0.5])
+    planner.range(q, 0.6, 0)
+    forced = planner.range(q, 0.6, 0, backend="flood")
+    assert not forced.cached
+    assert cache.hits == 0  # forced runs never consult the cache
+
+
+def test_maintenance_generation_invalidates_cache():
+    ctx = _fresh_ctx()
+    planner, cache, session = ctx["planner"], ctx["cache"], ctx["session"]
+    q = np.array([0.5])
+    planner.range(q, 0.6, 0)
+    assert planner.range(q, 0.6, 0).cached
+    victim = next(
+        node for node in sorted(session.assignment, key=repr)
+        if node != session.assignment[node]
+    )
+    session.remove_node(victim)
+    after = planner.range(q, 0.6, 0)
+    assert not after.cached, "pre-invalidation entry leaked through"
+    assert cache.invalidations > 0
+    # And the freshly cached answer is good again.
+    assert planner.range(q, 0.6, 0).cached
+
+
+def test_cache_counters_flow_to_metrics_registry():
+    ctx = _fresh_ctx()
+    planner, metrics = ctx["planner"], ctx["metrics"]
+    q = np.array([0.2])
+    planner.range(q, 0.5, 0)
+    planner.range(q, 0.5, 0)
+    snapshot = metrics.snapshot()
+    assert snapshot["queries.cache.hits"]["value"] == 1
+    assert snapshot["queries.cache.misses"]["value"] == 1
+    assert snapshot["queries.cache_served.range"]["value"] == 1
+
+
+def test_cache_lru_eviction_counted():
+    cache = QueryResultCache(capacity=2)
+    for i in range(3):
+        cache.put(cache.key("range", {"i": i}), i)
+    assert cache.evictions == 1
+    assert cache.stats()["entries"] == 2
+
+
+# ----------------------------------------------------------------------
+# trace events
+# ----------------------------------------------------------------------
+
+
+def test_planner_emits_queries_trace_events():
+    ctx = _fresh_ctx(n=30)
+    tracer = Tracer()
+    planner = QueryPlanner(
+        ctx["graph"],
+        ctx["clustering"],
+        ctx["features"],
+        ctx["metric"],
+        ctx["mtree"],
+        ctx["backbone"],
+        tracer=tracer,
+        cache=QueryResultCache(),
+        generation=lambda: 0,
+        metrics=MetricsRegistry(),
+    )
+    q = np.array([0.4])
+    planner.range(q, 0.7, 0)
+    planner.range(q, 0.7, 0)
+    types = [e.type for e in tracer.events(prefix="queries.")]
+    assert "queries.plan" in types
+    assert "queries.execute" in types
+    assert "queries.cache_miss" in types
+    assert "queries.cache_hit" in types

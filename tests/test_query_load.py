@@ -1,0 +1,195 @@
+"""Tests for the load-replay driver and the ``repro query-bench`` CLI."""
+
+import json
+
+import pytest
+
+from repro.queries.load import (
+    BENCH_SCHEMA,
+    MIXES,
+    Query,
+    ScenarioSpec,
+    WorkloadSpec,
+    build_scenario,
+    generate_workload,
+    main,
+    replay,
+    validate_queries_block,
+    warm_cache_pass,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return build_scenario(ScenarioSpec(n=40, seed=42, delta=0.4))
+
+
+def _nodes(ctx):
+    return sorted(ctx["graph"].nodes, key=repr)
+
+
+# ----------------------------------------------------------------------
+# workload generation
+# ----------------------------------------------------------------------
+
+
+def test_workload_is_seed_deterministic(ctx):
+    spec = WorkloadSpec(mix="balanced", queries=30, seed=9)
+    first = generate_workload(_nodes(ctx), ctx["features"], spec)
+    second = generate_workload(_nodes(ctx), ctx["features"], spec)
+    assert first == second
+
+
+def test_workload_varies_with_seed(ctx):
+    a = generate_workload(
+        _nodes(ctx), ctx["features"], WorkloadSpec(mix="balanced", queries=30, seed=1)
+    )
+    b = generate_workload(
+        _nodes(ctx), ctx["features"], WorkloadSpec(mix="balanced", queries=30, seed=2)
+    )
+    assert a != b
+
+
+def test_workload_respects_mix_support(ctx):
+    for mix, weights in MIXES.items():
+        spec = WorkloadSpec(mix=mix, queries=60, seed=0)
+        ops = {q.op for q in generate_workload(_nodes(ctx), ctx["features"], spec)}
+        assert ops <= set(weights)
+        # 60 draws from a >=10% weight essentially always hit every op.
+        assert ops == set(weights)
+
+
+def test_workload_rejects_unknown_mix(ctx):
+    with pytest.raises(KeyError):
+        generate_workload(_nodes(ctx), ctx["features"], WorkloadSpec(mix="nope"))
+
+
+def test_query_kwargs_rehydrates_arrays(ctx):
+    spec = WorkloadSpec(mix="balanced", queries=20, seed=4)
+    for query in generate_workload(_nodes(ctx), ctx["features"], spec):
+        kwargs = query.kwargs()
+        if query.op in ("range", "knn"):
+            assert kwargs["q"].dtype.kind == "f"
+        else:
+            assert kwargs["danger"].dtype.kind == "f"
+
+
+def test_queries_are_hashable_for_caching(ctx):
+    spec = WorkloadSpec(mix="balanced", queries=10, seed=4)
+    workload = generate_workload(_nodes(ctx), ctx["features"], spec)
+    assert len({hash(q) for q in workload}) >= 1
+    assert all(isinstance(q, Query) for q in workload)
+
+
+# ----------------------------------------------------------------------
+# replay and the warm-cache pass
+# ----------------------------------------------------------------------
+
+
+def test_replay_report_shape(ctx):
+    spec = WorkloadSpec(mix="balanced", queries=20, seed=6)
+    workload = generate_workload(_nodes(ctx), ctx["features"], spec)
+    report = replay(ctx["planner"], workload)
+    assert report["count"] == 20
+    for field in ("p50_ms", "p99_ms", "qps", "messages_per_query"):
+        assert report[field] >= 0
+    assert sum(report["plans"].values()) == 20
+    assert report["p50_ms"] <= report["p99_ms"]
+
+
+def test_warm_pass_hits_cache_and_serves_nothing_stale():
+    ctx = build_scenario(ScenarioSpec(n=40, seed=42, delta=0.4))
+    spec = WorkloadSpec(mix="range-heavy", queries=25, seed=6)
+    workload = generate_workload(sorted(ctx["graph"].nodes, key=repr), ctx["features"], spec)
+    replay(ctx["planner"], workload)  # cold pass populates the cache
+    warm = warm_cache_pass(ctx, workload)
+    assert warm["hits"] > 0
+    assert warm["invalidations"] > 0
+    assert warm["audited"] == 25
+    assert warm["stale_answers"] == 0
+
+
+# ----------------------------------------------------------------------
+# the BENCH queries block
+# ----------------------------------------------------------------------
+
+
+def _valid_block():
+    report = {"p50_ms": 0.1, "p99_ms": 0.2, "qps": 100.0, "messages_per_query": 5.0}
+    return {
+        "scenario": {"n": 40},
+        "mixes": {name: {"serial": dict(report)} for name in MIXES},
+        "warm": {"stale_answers": 0},
+    }
+
+
+def test_validate_queries_block_accepts_well_formed():
+    validate_queries_block(_valid_block())
+
+
+def test_validate_queries_block_rejects_missing_mixes():
+    block = _valid_block()
+    del block["mixes"]["balanced"]
+    with pytest.raises(ValueError, match="3 mixes"):
+        validate_queries_block(block)
+
+
+def test_validate_queries_block_rejects_missing_percentiles():
+    block = _valid_block()
+    del block["mixes"]["balanced"]["serial"]["p99_ms"]
+    with pytest.raises(ValueError, match="p99_ms"):
+        validate_queries_block(block)
+
+
+def test_validate_queries_block_rejects_stale_answers():
+    block = _valid_block()
+    block["warm"]["stale_answers"] = 2
+    with pytest.raises(ValueError, match="stale"):
+        validate_queries_block(block)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_query_bench_cli_writes_schema_4_block(tmp_path):
+    out = tmp_path / "BENCH_results.json"
+    rc = main(
+        [
+            "--quick",
+            "--n",
+            "30",
+            "--queries",
+            "15",
+            "--bench-out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == BENCH_SCHEMA == 4
+    validate_queries_block(payload["queries"])
+    assert len(payload["queries"]["mixes"]) >= 3
+    assert payload["queries"]["warm"]["stale_answers"] == 0
+
+
+def test_query_bench_cli_merges_existing_bench(tmp_path):
+    out = tmp_path / "BENCH_results.json"
+    out.write_text(json.dumps({"schema": 3, "suite": {"keep": True}}))
+    rc = main(["--quick", "--n", "30", "--queries", "12", "--bench-out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 4
+    assert payload["suite"] == {"keep": True}  # pre-existing blocks survive
+    validate_queries_block(payload["queries"])
+
+
+def test_query_bench_cli_no_bench_writes_nothing(tmp_path, capsys):
+    out = tmp_path / "BENCH_results.json"
+    rc = main(
+        ["--quick", "--n", "30", "--queries", "10", "--no-bench", "--bench-out", str(out)]
+    )
+    assert rc == 0
+    assert not out.exists()
+    assert "warm" in capsys.readouterr().out

@@ -245,3 +245,65 @@ def test_stage_names_resolve_in_timelines(capsys):
     assert trace_main([str(SERVE_FIXTURE), "--node", "pipeline"]) == 0
     out = capsys.readouterr().out
     assert "timeline of node 'pipeline'" in out
+
+
+def test_queries_report_on_hand_built_trace():
+    events = [
+        _event(0.0, "queries.cache_miss", op="range", generation=0),
+        _event(0.1, "queries.plan", op="range", backend="mtree", reason="cheapest"),
+        _event(0.2, "queries.execute", op="range", backend="mtree", estimated=100.0, actual=120),
+        _event(0.3, "queries.cache_hit", op="range", backend="mtree", generation=1),
+        _event(0.4, "queries.cache_miss", op="knn", generation=1),
+        _event(0.5, "queries.plan", op="knn", backend="flood", reason="cheapest"),
+        _event(0.6, "queries.execute", op="knn", backend="flood", estimated=200.0, actual=100),
+    ]
+    report = TraceInspector(events).queries_report()
+    assert report["executed"] == {"range": 1, "knn": 1}
+    assert report["plans"] == {"mtree": 1, "flood": 1}
+    assert report["cache_hits"] == {"range": 1}
+    assert report["cache_misses"] == {"range": 1, "knn": 1}
+    assert report["estimate_ratio_mean"] == pytest.approx(0.85)
+    assert report["estimate_ratio_worst"] == pytest.approx(1.2)
+    assert report["generations"] == [0, 1]
+    text = TraceInspector(events).queries_text()
+    assert "plans: flood=1, mtree=1" in text
+    assert "1 hits, 2 misses" in text
+
+
+def test_queries_report_absent_without_queries_events():
+    inspector = TraceInspector([_event(0.0, "msg.send", 1, dst=2)])
+    assert inspector.queries_report() is None
+    assert "no queries.* events" in inspector.queries_text()
+
+
+def test_queries_rollup_from_live_planner_trace(tmp_path, capsys):
+    from repro.queries.load import ScenarioSpec, WorkloadSpec, build_scenario, generate_workload
+    from repro.queries.planner import QueryPlanner
+    from repro.queries.result_cache import QueryResultCache
+
+    ctx = build_scenario(ScenarioSpec(n=30, seed=42, delta=0.4))
+    tracer = Tracer()
+    planner = QueryPlanner(
+        ctx["graph"],
+        ctx["clustering"],
+        ctx["features"],
+        ctx["metric"],
+        ctx["mtree"],
+        ctx["backbone"],
+        tracer=tracer,
+        cache=QueryResultCache(),
+        generation=lambda: ctx["session"].generation,
+    )
+    workload = generate_workload(
+        sorted(ctx["graph"].nodes, key=repr),
+        ctx["features"],
+        WorkloadSpec(mix="balanced", queries=12, seed=2),
+    )
+    for query in workload:
+        getattr(planner, query.op)(**query.kwargs())
+    trace_path = tmp_path / "queries.jsonl"
+    tracer.export_jsonl(str(trace_path))
+    assert trace_main([str(trace_path), "--queries"]) == 0
+    out = capsys.readouterr().out
+    assert "queries:" in out
+    assert "executed: 12" in out
