@@ -137,8 +137,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Command-line entry point."""
+    """Command-line entry point.
+
+    Every subcommand is pipe-safe: this net catches a BrokenPipeError
+    that escapes any of them, so ``repro <cmd> ... | head`` exits
+    quietly instead of dumping a traceback (the high-volume printers —
+    ``trace``, ``query``, ``query-bench`` — additionally guard their own
+    output loops, keeping their exit paths explicit).
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        sys.stderr.close()
+        return 0
+
+
+def _dispatch(argv: list[str]) -> int:
     if argv and argv[0] == "trace":
         from repro.obs.inspect import main as trace_main
 
@@ -342,24 +357,30 @@ def _cmd_query(args: argparse.Namespace) -> int:
     mtree = build_mtree(clustering, features, metric)
     backbone = build_backbone(topology.graph, clustering)
     initiator = next(iter(topology.graph.nodes))
-    if args.explain or args.backend:
-        from repro.queries.planner import QueryPlanner
+    try:
+        if args.explain or args.backend:
+            from repro.queries.planner import QueryPlanner
 
-        planner = QueryPlanner(
-            topology.graph, clustering, features, metric, mtree, backbone
+            planner = QueryPlanner(
+                topology.graph, clustering, features, metric, mtree, backbone
+            )
+            planned = planner.range(q, args.radius, initiator, backend=args.backend)
+            print(planned.explain_text())
+            out = planned.result
+        else:
+            engine = RangeQueryEngine(clustering, features, metric, mtree, backbone)
+            out = engine.query(q, args.radius, initiator)
+        print(f"matches ({len(out.matches)}): {sorted(out.matches, key=repr)[:30]}")
+        print(
+            f"cost: {out.messages} messages "
+            f"(pruned {out.clusters_pruned}, included {out.clusters_included}, "
+            f"descended {out.clusters_descended} clusters)"
         )
-        planned = planner.range(q, args.radius, initiator, backend=args.backend)
-        print(planned.explain_text())
-        out = planned.result
-    else:
-        engine = RangeQueryEngine(clustering, features, metric, mtree, backbone)
-        out = engine.query(q, args.radius, initiator)
-    print(f"matches ({len(out.matches)}): {sorted(out.matches, key=repr)[:30]}")
-    print(
-        f"cost: {out.messages} messages "
-        f"(pruned {out.clusters_pruned}, included {out.clusters_included}, "
-        f"descended {out.clusters_descended} clusters)"
-    )
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; exit quietly like
+        # `repro trace` does instead of dumping a traceback.
+        sys.stderr.close()
+        return 0
     return 0
 
 

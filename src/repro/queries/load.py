@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 import time
 from dataclasses import asdict, dataclass
 from typing import Any, Hashable, Mapping
@@ -494,26 +495,32 @@ def main(argv: list[str] | None = None) -> int:
         bench_out=args.bench_out,
         no_bench=args.no_bench,
     )
-    print(
-        f"scenario: n={n} seed={args.seed} delta={args.delta} "
-        f"({block['scenario']['clusters']} clusters), {queries} queries/mix"
-    )
-    for name, entry in block["mixes"].items():
-        for kind, report in entry.items():
-            plans = report.get("plans")
-            plans_text = f" plans={plans}" if plans else f" jobs={report['jobs']}"
-            print(
-                f"  {name:<12} {kind:<10} p50 {report['p50_ms']}ms  "
-                f"p99 {report['p99_ms']}ms  {report['qps']} q/s  "
-                f"{report['messages_per_query']} msg/q{plans_text}"
-            )
-    warm = block["warm"]
-    print(
-        f"  warm cache: {warm['hits']} hits, p50 {warm['p50_ms']}ms, "
-        f"{warm['messages_per_query']} msg/q; after forced invalidation: "
-        f"{warm['invalidations']} entries swept, "
-        f"{warm['stale_answers']}/{warm['audited']} stale answers"
-    )
-    if not args.no_bench:
-        print(f"[wrote {args.bench_out}: schema {BENCH_SCHEMA} queries block]")
+    try:
+        print(
+            f"scenario: n={n} seed={args.seed} delta={args.delta} "
+            f"({block['scenario']['clusters']} clusters), {queries} queries/mix"
+        )
+        for name, entry in block["mixes"].items():
+            for kind, report in entry.items():
+                plans = report.get("plans")
+                plans_text = f" plans={plans}" if plans else f" jobs={report['jobs']}"
+                print(
+                    f"  {name:<12} {kind:<10} p50 {report['p50_ms']}ms  "
+                    f"p99 {report['p99_ms']}ms  {report['qps']} q/s  "
+                    f"{report['messages_per_query']} msg/q{plans_text}"
+                )
+        warm = block["warm"]
+        print(
+            f"  warm cache: {warm['hits']} hits, p50 {warm['p50_ms']}ms, "
+            f"{warm['messages_per_query']} msg/q; after forced invalidation: "
+            f"{warm['invalidations']} entries swept, "
+            f"{warm['stale_answers']}/{warm['audited']} stale answers"
+        )
+        if not args.no_bench:
+            print(f"[wrote {args.bench_out}: schema {BENCH_SCHEMA} queries block]")
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; exit quietly like
+        # `repro trace` does instead of dumping a traceback.
+        sys.stderr.close()
+        return 0
     return 0

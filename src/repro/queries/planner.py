@@ -38,9 +38,20 @@ and cache traffic emit ``queries.*`` trace events consumed by
 ``repro trace --queries`` and ``queries.*`` counters in the metrics
 registry.
 
-The planner serves the fault-free path (the live service rebuilds it from
-repaired state after crashes); degraded execution with ``dead`` sets
-stays with the engines directly, which own the coverage story.
+The planner serves the fault-free path by default.  Pass ``dead`` /
+``root_replacements`` (the engines' degraded vocabulary) and the cost
+model discounts what crashes removed: re-elected roots prune with the
+engines' conservative replacement balls, backbone hop terms count only
+edges a query can actually traverse (fan-out stops at dead relays, and
+their severed far sides contribute no descent cost), per-cluster sizes
+count surviving members, and clusters whose representative died
+unreplaced are costed as unreachable.  Execution routes through the
+engines' own degraded paths, so the planner never plans a route through
+a node they would refuse.  The flood backend is unavailable degraded —
+its overlay tree routes through dead nodes — so it is never chosen and
+cannot be forced.  Cache keys embed the degraded context
+(:meth:`~repro.queries.result_cache.QueryResultCache.key`), so a
+fault-free cached answer is never served for a degraded query.
 """
 
 from __future__ import annotations
@@ -60,8 +71,13 @@ from repro.index.mtree import MTreeIndex
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.queries.knn import KnnQueryEngine, KnnResult, brute_force_knn
-from repro.queries.path_query import PathQueryEngine, PathQueryResult
-from repro.queries.range_query import RangeQueryEngine, RangeQueryResult
+from repro.queries.path_query import (
+    DROP_DEAD_ENDPOINT,
+    DROP_DEAD_ROOT,
+    PathQueryEngine,
+    PathQueryResult,
+)
+from repro.queries.range_query import DROP_DEAD_RELAY, RangeQueryEngine, RangeQueryResult
 from repro.queries.result_cache import QueryResultCache
 from repro.queries.tag import TagEngine
 from repro.sim.messages import CATEGORY_QUERY
@@ -176,6 +192,11 @@ class QueryPlanner:
         structure generation (e.g. ``lambda: session.generation``); the
         cache sweeps stale entries whenever it advances.  ``None`` pins
         generation 0 (static snapshots).
+    dead, root_replacements:
+        The degraded-topology context, with the same semantics the
+        engines give them (crashed node set; dead root -> re-elected
+        representative).  Both default empty: the fault-free cost model
+        and execution paths are byte-identical to pre-degraded builds.
     """
 
     def __init__(
@@ -192,6 +213,8 @@ class QueryPlanner:
         emit: Callable[..., None] | None = None,
         cache: QueryResultCache | None = None,
         generation: Callable[[], int] | None = None,
+        dead: "set[Hashable] | frozenset[Hashable] | None" = None,
+        root_replacements: Mapping[Hashable, Hashable] | None = None,
     ):
         self.graph = graph
         self.clustering = clustering
@@ -202,6 +225,10 @@ class QueryPlanner:
         self._metrics = metrics
         self._cache = cache
         self._generation = generation
+        self._dead = frozenset(dead) if dead else frozenset()
+        self._replacements = dict(root_replacements) if root_replacements else {}
+        self._replaced_by = {repl: orig for orig, repl in self._replacements.items()}
+        self._degraded = bool(self._dead or self._replacements)
         self._seq = 0
         if emit is not None:
             self._emit_fn = emit
@@ -211,13 +238,18 @@ class QueryPlanner:
             self._emit_fn = None
 
         self._range_engine = RangeQueryEngine(
-            clustering, self.features, metric, mtree, backbone, metrics=metrics
+            clustering, self.features, metric, mtree, backbone,
+            dead=self._dead or None, root_replacements=self._replacements or None,
+            metrics=metrics,
         )
         self._knn_engine = KnnQueryEngine(
-            clustering, self.features, metric, mtree, backbone, metrics=metrics
+            clustering, self.features, metric, mtree, backbone,
+            dead=self._dead or None, root_replacements=self._replacements or None,
+            metrics=metrics,
         )
         self._path_engine = PathQueryEngine(
-            graph, clustering, self.features, metric, mtree, metrics=metrics
+            graph, clustering, self.features, metric, mtree,
+            dead=self._dead or None, metrics=metrics,
         )
         # One overlay for the flood backend; TAG's per-query cost does not
         # depend on where the overlay is rooted (it is always n-1 edges),
@@ -225,7 +257,16 @@ class QueryPlanner:
         base = min(graph.nodes, key=repr)
         self._tag = TagEngine(graph, self.features, metric, base_station=base)
 
-        sizes = {root: len(clustering.members(root)) for root in clustering.roots}
+        # Per-cluster sizes over *surviving* members: the degraded cost
+        # model's discount, and exactly the fault-free sizes when nothing
+        # is dead.
+        if self._dead:
+            sizes = {
+                root: sum(1 for m in clustering.members(root) if m not in self._dead)
+                for root in clustering.roots
+            }
+        else:
+            sizes = {root: len(clustering.members(root)) for root in clustering.roots}
         total_hops = sum(
             backbone.edge_hops(a, b) for a, b in backbone.tree.edges
         )
@@ -249,10 +290,23 @@ class QueryPlanner:
         require_non_negative(radius, "radius")
         q = np.asarray(q, dtype=np.float64)
         per_edge = self.stats.dim + 2  # (dim+1) down + 1 aggregate up
+        origin = self.clustering.root_of(initiator)
+        if self._unreachable_root(origin):
+            # Unrepaired dead representative: every clustered backend
+            # decays to flooding the initiator's surviving cluster.
+            local = per_edge * max(self.stats.sizes.get(origin, 0) - 1, 0)
+            return self._choose("range", {
+                "mtree": float(local),
+                "backbone": float(local),
+                "flood": self._flood_cost(self._tag.per_query_cost()),
+            })
         entry = len(self.clustering.path_to_root(initiator)) - 1
         classes = self._classify_range(q, radius)
+        _hops_reach, reachable = self._backbone_reach(self._effective(origin))
         boundary_all = sum(
-            max(self.stats.sizes[r] - 1, 0) for r, c in classes.items() if c == "boundary"
+            max(self.stats.sizes[r] - 1, 0)
+            for r, c in classes.items()
+            if c == "boundary" and (reachable is None or self._effective(r) in reachable)
         )
         entry_hops, visited, fanout_hops = self._range_engine.fanout_preview(q, radius, initiator)
         boundary_visited = sum(
@@ -263,9 +317,8 @@ class QueryPlanner:
         estimates = {
             "mtree": per_edge * (entry_hops + fanout_hops)
             + per_edge * boundary_visited * DESCENT_FRACTION,
-            "backbone": per_edge * (entry + self.stats.total_backbone_hops)
-            + per_edge * boundary_all,
-            "flood": float(self._tag.per_query_cost()),
+            "backbone": per_edge * (entry + _hops_reach) + per_edge * boundary_all,
+            "flood": self._flood_cost(self._tag.per_query_cost()),
         }
         return self._choose("range", estimates)
 
@@ -274,34 +327,51 @@ class QueryPlanner:
         require_int_at_least(k, 1, "k")
         q = np.asarray(q, dtype=np.float64)
         dim = self.stats.dim
-        entry = len(self.clustering.path_to_root(initiator)) - 1
-        # Optimistic k-th-distance guess from the closest root ball: every
-        # root whose optimistic bound beats it is modeled as visited.
         origin = self.clustering.root_of(initiator)
-        d_by_root = {
-            r: self.metric.distance(q, self.mtree.routing_feature[r])
-            for r in self.clustering.roots
-        }
-        best = min(d_by_root, key=lambda r: (d_by_root[r], repr(r)))
-        est_kth = d_by_root[best] + self.mtree.covering_radius[best]
-        routes = self._route_hops_from(origin)
-        visited = [
+        if self._unreachable_root(origin):
+            local = (dim + 2) * max(self.stats.sizes.get(origin, 0) - 1, 0)
+            return self._choose("knn", {
+                "mtree": float(local),
+                "backbone": float(local),
+                "flood": self._flood_cost((dim + 1 + k) * self.stats.overlay_edges),
+            })
+        entry = len(self.clustering.path_to_root(initiator)) - 1
+        start = self._effective(origin)
+        hops_reach, reachable = self._backbone_reach(start)
+        # Only clusters the degraded engines can consult: a live (or
+        # re-elected) representative that is not severed behind a dead
+        # backbone relay.
+        candidates = [
             r
             for r in self.clustering.roots
-            if max(0.0, d_by_root[r] - self.mtree.covering_radius[r]) <= est_kth
+            if not self._unreachable_root(r)
+            and (reachable is None or self._effective(r) in reachable)
+        ]
+        # Optimistic k-th-distance guess from the closest root ball: every
+        # root whose optimistic bound beats it is modeled as visited.
+        balls = {r: self._routing_ball(r) for r in candidates}
+        d_by_root = {r: self.metric.distance(q, balls[r][0]) for r in candidates}
+        best = min(d_by_root, key=lambda r: (d_by_root[r], repr(r)))
+        est_kth = d_by_root[best] + balls[best][1]
+        routes = self._route_hops_from(start)
+        visited = [
+            r
+            for r in candidates
+            if max(0.0, d_by_root[r] - balls[r][1]) <= est_kth
         ]
         per_edge = dim + 2
         mtree_cost = per_edge * entry + sum(
-            per_edge * routes.get(r, 0)
+            per_edge * routes.get(self._effective(r), 0)
             + per_edge * min(max(self.stats.sizes[r] - 1, 0), KNN_VISIT_PER_CLUSTER * k)
             for r in visited
         )
-        tree_edges = self.stats.n - self.stats.num_clusters  # all cluster-tree edges
+        # Cluster-tree edges the backbone scan floods (surviving members
+        # of consultable clusters only).
+        scan_edges = sum(max(self.stats.sizes[r] - 1, 0) for r in candidates)
         estimates = {
             "mtree": float(mtree_cost),
-            "backbone": (dim + 1 + k)
-            * (entry + self.stats.total_backbone_hops + tree_edges),
-            "flood": float((dim + 1 + k) * self.stats.overlay_edges),
+            "backbone": (dim + 1 + k) * (entry + hops_reach + scan_edges),
+            "flood": self._flood_cost((dim + 1 + k) * self.stats.overlay_edges),
         }
         return self._choose("knn", estimates)
 
@@ -312,10 +382,21 @@ class QueryPlanner:
         require_non_negative(gamma, "gamma")
         danger = np.asarray(danger, dtype=np.float64)
         qv = self.stats.dim + 1
+        if self._dead and (source in self._dead or destination in self._dead):
+            # Dead endpoint: every engine answers "no path" immediately.
+            return self._choose("path", {
+                "mtree": 0.0, "backbone": 0.0, "flood": self._flood_cost(0.0),
+            })
         entry = len(self.clustering.path_to_root(source)) - 1
         safe_nodes = 0.0
         boundary_edges = 0
+        classified = 0
         for root in self.clustering.roots:
+            if self._dead and root in self._dead:
+                # The path engine cannot classify this cluster (its
+                # representative died); no cost, no safe members.
+                continue
+            classified += 1
             d = self.metric.distance(danger, self.mtree.routing_feature[root])
             radius = self.mtree.covering_radius[root]
             size = self.stats.sizes[root]
@@ -324,11 +405,11 @@ class QueryPlanner:
             elif d + radius >= gamma:  # boundary: some members may be safe
                 safe_nodes += 0.5 * size
                 boundary_edges += max(size - 1, 0)
-        classify = qv * (entry + self.stats.num_clusters)
+        classify = qv * (entry + classified)
         estimates = {
             "mtree": classify + qv * boundary_edges * DRILL_FRACTION,
             "backbone": classify + qv * boundary_edges,
-            "flood": 2.0 * safe_nodes * self.stats.mean_degree,
+            "flood": self._flood_cost(2.0 * safe_nodes * self.stats.mean_degree),
         }
         return self._choose("path", estimates)
 
@@ -357,8 +438,8 @@ class QueryPlanner:
         q = np.asarray(q, dtype=np.float64)
         runners = {
             "mtree": lambda: self._knn_engine.query(q, k, initiator),
-            "backbone": lambda: self._knn_scan(q, k, over_backbone=True),
-            "flood": lambda: self._knn_scan(q, k, over_backbone=False),
+            "backbone": lambda: self._knn_scan(q, k, initiator, over_backbone=True),
+            "flood": lambda: self._knn_scan(q, k, initiator, over_backbone=False),
         }
         params = {"q": q, "k": int(k), "initiator": initiator}
         return self._execute(
@@ -405,24 +486,40 @@ class QueryPlanner:
     def _range_backbone(
         self, q: np.ndarray, radius: float, initiator: Hashable
     ) -> RangeQueryResult:
-        """Backbone plan: visit every root, δ-compactness only, flood boundary clusters."""
+        """Backbone plan: visit every root, δ-compactness only, flood boundary clusters.
+
+        Degraded, it visits every *reachable* root — the fan-out drops at
+        dead relays exactly like the engine's, an unrepaired dead origin
+        root decays to the engine's local-only answer, and re-elected
+        roots prune with their conservative balls — so the answer equals
+        the degraded M-tree plan's.
+        """
         stats = MessageStats()
         qv = self.stats.dim + 1
+        origin = self.clustering.root_of(initiator)
+        if self._unreachable_root(origin):
+            return self._range_engine._local_only(q, radius, origin, stats, qv)
         entry = len(self.clustering.path_to_root(initiator)) - 1
         self._charge(stats, qv, entry)
         self._charge(stats, 1, entry)
-        # Unpruned fan-out: the query and its aggregate traverse every
-        # backbone edge once (no directional summaries in this plan).
-        for a, b in self.backbone.tree.edges:
-            hops = self.backbone.edge_hops(a, b)
-            self._charge(stats, qv, hops)
-            self._charge(stats, 1, hops)
+        if self._dead:
+            lost = self._charged_sweep(self._range_engine, self._effective(origin), stats, qv, 1)
+        else:
+            # Unpruned fan-out: the query and its aggregate traverse every
+            # backbone edge once (no directional summaries in this plan).
+            lost = set()
+            for a, b in self.backbone.tree.edges:
+                hops = self.backbone.edge_hops(a, b)
+                self._charge(stats, qv, hops)
+                self._charge(stats, 1, hops)
         matches: set[Hashable] = set()
         pruned = included = descended = 0
         for root in self.clustering.roots:
-            d = self.metric.distance(q, self.mtree.routing_feature[root])
-            r_root = self.mtree.covering_radius[root]
-            members = self.clustering.members(root)
+            if self._unreachable_root(root) or self._effective(root) in lost:
+                continue  # the degraded engines cannot consult this cluster
+            center, r_root = self._routing_ball(root)
+            d = self.metric.distance(q, center)
+            members = self._alive_members(root)
             if d > radius + r_root:
                 pruned += 1
                 continue
@@ -437,7 +534,11 @@ class QueryPlanner:
             matches.update(
                 m for m in members if self.metric.distance(q, self.features[m]) <= radius
             )
-        return RangeQueryResult(matches, stats.total_values, pruned, included, descended)
+        coverage = self._range_engine._coverage_after_losses(lost)
+        return RangeQueryResult(
+            matches, stats.total_values, pruned, included, descended,
+            coverage, stats.total_drops,
+        )
 
     def _tag_range(self, q: np.ndarray, radius: float) -> RangeQueryResult:
         """Flood plan: TAG distribute-and-collect; cost is selectivity-free."""
@@ -446,15 +547,50 @@ class QueryPlanner:
             out.matches, out.messages, 0, 0, self.stats.num_clusters
         )
 
-    def _knn_scan(self, q: np.ndarray, k: int, *, over_backbone: bool) -> KnnResult:
+    def _knn_scan(
+        self, q: np.ndarray, k: int, initiator: Hashable, *, over_backbone: bool
+    ) -> KnnResult:
         """k-NN by exhaustive scan, charged over the backbone or the overlay.
 
         Both variants confirm every node (k-best merge on the way back
         carries k candidates per edge), so the answer equals brute force;
-        only the transport being charged differs.
+        only the transport being charged differs.  The degraded backbone
+        scan ranks only surviving members of clusters the engine can
+        consult (live/re-elected representative, not severed behind a
+        dead relay) — the same pool the degraded best-first search draws
+        from, so the answers agree.
         """
         stats = MessageStats()
         qv = self.stats.dim + 1
+        if over_backbone and self._degraded:
+            origin = self.clustering.root_of(initiator)
+            if self._unreachable_root(origin):
+                return self._knn_engine._local_only(q, k, origin, stats, qv)
+            self._charge(stats, qv, len(self.clustering.path_to_root(initiator)) - 1)
+            if self._dead:
+                lost = self._charged_sweep(
+                    self._knn_engine, self._effective(origin), stats, qv, k
+                )
+            else:
+                lost = set()
+                for a, b in self.backbone.tree.edges:
+                    hops = self.backbone.edge_hops(a, b)
+                    self._charge(stats, qv, hops)
+                    self._charge(stats, k, hops)
+            pool: dict[Hashable, np.ndarray] = {}
+            for root in self.clustering.roots:
+                if self._unreachable_root(root) or self._effective(root) in lost:
+                    continue
+                members = self._alive_members(root)
+                edges = max(len(members) - 1, 0)
+                self._charge(stats, qv, edges)
+                self._charge(stats, k, edges)
+                pool.update((m, self.features[m]) for m in members)
+            neighbors = brute_force_knn(pool, self.metric, q, k) if pool else []
+            coverage = self._knn_engine._coverage_after_losses(lost)
+            return KnnResult(
+                neighbors, stats.total_values, len(pool), coverage, stats.total_drops
+            )
         if over_backbone:
             for a, b in self.backbone.tree.edges:
                 hops = self.backbone.edge_hops(a, b)
@@ -474,18 +610,32 @@ class QueryPlanner:
     def _path_backbone(
         self, source: Hashable, destination: Hashable, danger: np.ndarray, gamma: float
     ) -> PathQueryResult:
-        """Backbone plan: root-ball classification, cluster floods, no drill."""
+        """Backbone plan: root-ball classification, cluster floods, no drill.
+
+        Degraded, it mirrors the path engine's semantics: dead endpoints
+        answer "no path" immediately, clusters whose representative died
+        are unclassifiable (their survivors stay out of the safe set and
+        count as uncovered), and dead nodes never enter the safe set.
+        """
         stats = MessageStats()
         qv = self.stats.dim + 1
+        if self._dead and (source in self._dead or destination in self._dead):
+            self._path_engine._drop(stats, DROP_DEAD_ENDPOINT)
+            return PathQueryResult(None, 0, 0, 0, 0.0, stats.total_drops)
         entry = len(self.clustering.path_to_root(source)) - 1
         self._charge(stats, qv, entry)
         safe: set[Hashable] = set()
         drilled = 0
+        uncovered = 0
         for root in self.clustering.roots:
+            members = self._alive_members(root)
+            if self._dead and root in self._dead:
+                self._path_engine._drop(stats, DROP_DEAD_ROOT)
+                uncovered += len(members)
+                continue
             self._charge(stats, qv, 1)  # backbone fan-out, one charge per root
             d = self.metric.distance(danger, self.mtree.routing_feature[root])
             radius = self.mtree.covering_radius[root]
-            members = self.clustering.members(root)
             if d - radius >= gamma:
                 safe.update(members)
                 continue
@@ -499,7 +649,15 @@ class QueryPlanner:
                 for m in members
                 if self.metric.distance(self.features[m], danger) >= gamma
             )
-        return self._route_safe(source, destination, safe, drilled, stats)
+        coverage = 1.0
+        if self._dead:
+            alive_total = sum(
+                1 for n in self.clustering.assignment if n not in self._dead
+            )
+            coverage = 1.0 - uncovered / alive_total if alive_total else 0.0
+        return self._route_safe(
+            source, destination, safe, drilled, stats, coverage=coverage
+        )
 
     def _path_flood(
         self, source: Hashable, destination: Hashable, danger: np.ndarray, gamma: float
@@ -535,6 +693,7 @@ class QueryPlanner:
         stats: MessageStats,
         *,
         flooded: int | None = None,
+        coverage: float = 1.0,
     ) -> PathQueryResult:
         """Shared tail of every path backend: canonical route through *safe*.
 
@@ -544,11 +703,17 @@ class QueryPlanner:
         """
         safe_count = len(safe) if flooded is None else flooded
         if source not in safe or destination not in safe:
-            return PathQueryResult(None, stats.total_values, safe_count, drilled)
+            return PathQueryResult(
+                None, stats.total_values, safe_count, drilled, coverage,
+                stats.total_drops,
+            )
         safe_sub = self.graph.subgraph(safe)
         component = nx.node_connected_component(safe_sub, source)
         if destination not in component:
-            return PathQueryResult(None, stats.total_values, safe_count, drilled)
+            return PathQueryResult(
+                None, stats.total_values, safe_count, drilled, coverage,
+                stats.total_drops,
+            )
         if flooded is None:
             # Region-level search over safe cluster roots, as the engine
             # charges it; the flood plan already paid per-node above.
@@ -557,7 +722,10 @@ class QueryPlanner:
                 self._charge(stats, 2, 1)
         path = nx.shortest_path(safe_sub.subgraph(component), source, destination)
         self._charge(stats, 1, len(path) - 1)
-        return PathQueryResult(list(path), stats.total_values, safe_count, drilled)
+        return PathQueryResult(
+            list(path), stats.total_values, safe_count, drilled, coverage,
+            stats.total_drops,
+        )
 
     # ------------------------------------------------------------------
     # internals
@@ -572,12 +740,17 @@ class QueryPlanner:
     ) -> PlannedResult:
         if backend is not None and backend not in PLAN_BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {PLAN_BACKENDS}")
+        if backend == "flood" and self._degraded:
+            raise ValueError(
+                "flood backend unavailable under a degraded topology: its "
+                "overlay tree routes through dead nodes"
+            )
         key = None
         if backend is None and self._cache is not None:
             if self._generation is not None:
                 self._cache.observe_generation(self._generation())
             try:
-                key = self._cache.key(op, params)
+                key = self._cache.key(op, params, context=self._cache_context())
             except TypeError:
                 key = None  # un-canonicalizable parameter: skip the cache
             if key is not None:
@@ -619,8 +792,13 @@ class QueryPlanner:
     def _classify_range(self, q: np.ndarray, radius: float) -> dict[Hashable, str]:
         classes: dict[Hashable, str] = {}
         for root in self.clustering.roots:
-            d = self.metric.distance(q, self.mtree.routing_feature[root])
-            r_root = self.mtree.covering_radius[root]
+            if self._unreachable_root(root):
+                # Dead unreplaced representative: the degraded engines
+                # cannot consult this cluster at all.
+                classes[root] = "lost"
+                continue
+            center, r_root = self._routing_ball(root)
+            d = self.metric.distance(q, center)
             if d > radius + r_root:
                 classes[root] = "pruned"
             elif d <= radius - r_root:
@@ -630,9 +808,105 @@ class QueryPlanner:
         return classes
 
     def _orig_root(self, root: Hashable) -> Hashable:
-        # The fault-free planner never sees replacement roots, but the
-        # preview API may surface them if engines were built degraded.
-        return root
+        """Map a re-elected replacement back to the original root id.
+
+        ``fanout_preview`` walks the (possibly rerouted) backbone, so
+        degraded it surfaces replacement node ids; sizes and classes are
+        keyed by the original roots.  Fault-free this is the identity.
+        """
+        return self._replaced_by.get(root, root)
+
+    def _unreachable_root(self, root: Hashable) -> bool:
+        """True when *root* is dead with no re-elected replacement."""
+        return bool(self._dead) and root in self._dead and root not in self._replacements
+
+    def _effective(self, root: Hashable) -> Hashable:
+        """The node actually representing *root* on the backbone."""
+        return self._replacements.get(root, root)
+
+    def _routing_ball(self, root: Hashable) -> tuple[np.ndarray, float]:
+        """The (possibly conservative replacement) ball the engines prune with."""
+        return self._range_engine._routing_ball(self._effective(root))
+
+    def _alive_members(self, root: Hashable) -> list[Hashable]:
+        members = self.clustering.members(root)
+        if self._dead:
+            return [m for m in members if m not in self._dead]
+        return list(members)
+
+    def _flood_cost(self, cost: float) -> float:
+        # Flooding routes through every node; with dead/replaced nodes
+        # the degraded engines refuse it, so an infinite estimate keeps
+        # it out of the argmin (and _execute rejects forcing it).
+        return math.inf if self._degraded else float(cost)
+
+    def _backbone_reach(self, start: Hashable) -> "tuple[int, set[Hashable] | None]":
+        """(traversable backbone hops, reachable tree nodes | None = all).
+
+        Fault-free the whole tree is traversable, so the precomputed
+        total is returned untouched (byte-identical cost model).  With
+        dead relays the walk from *start* stops at them, exactly as the
+        engines' fan-out does; severed far sides contribute no hops.
+        """
+        if not self._dead:
+            return self.stats.total_backbone_hops, None
+        seen = {start}
+        stack = [start]
+        hops = 0
+        while stack:
+            current = stack.pop()
+            for neighbor in self.backbone.tree.neighbors(current):
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                if neighbor in self._dead:
+                    continue
+                hops += self.backbone.edge_hops(current, neighbor)
+                stack.append(neighbor)
+        return hops, seen - self._dead
+
+    def _charged_sweep(
+        self,
+        engine: Any,
+        start: Hashable,
+        stats: MessageStats,
+        qv: int,
+        up: int,
+    ) -> set[Hashable]:
+        """Walk the backbone from *start*, charging traversed edges.
+
+        Charges *qv* values down and *up* values back per traversable
+        edge, records a dead-relay drop via *engine* for every severed
+        edge, and returns the lost tree-node set (the far sides the
+        query can never reach) — the same bookkeeping the degraded
+        engines perform during their fan-out.
+        """
+        lost: set[Hashable] = set()
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for neighbor in self.backbone.tree.neighbors(current):
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                if neighbor in self._dead:
+                    engine._drop(stats, DROP_DEAD_RELAY)
+                    lost.update(engine._side_roots(current, neighbor))
+                    continue
+                hops = self.backbone.edge_hops(current, neighbor)
+                self._charge(stats, qv, hops)
+                self._charge(stats, up, hops)
+                stack.append(neighbor)
+        return lost
+
+    def _cache_context(self) -> "dict[str, Any] | None":
+        if not self._degraded:
+            return None
+        return {
+            "dead": sorted(self._dead, key=repr),
+            "root_replacements": sorted(self._replacements.items(), key=repr),
+        }
 
     def _route_hops_from(self, start: Hashable) -> dict[Hashable, int]:
         cached = self._route_cache.get(start)
@@ -643,7 +917,7 @@ class QueryPlanner:
         while stack:
             current = stack.pop()
             for neighbor in self.backbone.tree.neighbors(current):
-                if neighbor in hops:
+                if neighbor in hops or (self._dead and neighbor in self._dead):
                     continue
                 hops[neighbor] = hops[current] + self.backbone.edge_hops(current, neighbor)
                 stack.append(neighbor)

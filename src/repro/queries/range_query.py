@@ -154,7 +154,7 @@ class RangeQueryEngine:
     def fanout_preview(
         self, q: np.ndarray, radius: float, initiator: Hashable
     ) -> tuple[int, list[Hashable], int]:
-        """Dry-run the fault-free backbone fan-out without charging messages.
+        """Dry-run the backbone fan-out without charging messages.
 
         Returns ``(entry_hops, visited_roots, backbone_hops)`` — the
         cluster-tree hops from *initiator* to its root, the backbone roots
@@ -179,6 +179,8 @@ class RangeQueryEngine:
                 if neighbor in seen:
                     continue
                 seen.add(neighbor)
+                if self._dead and neighbor in self._dead:
+                    continue  # the walk drops at dead relays, as query() does
                 center, ball_radius = self._ball_toward(current, neighbor)
                 if self.metric.distance(q, center) > radius + ball_radius:
                     continue

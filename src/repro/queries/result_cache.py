@@ -36,8 +36,10 @@ from repro.obs.metrics import MetricsRegistry
 from repro.perf.cache import cache_key
 
 #: Key-schema salt for query-result entries; bump when the planned result
-#: representation changes shape.
-_RESULT_SALT = "query-result-1"
+#: representation (or the key schema itself) changes shape.  2: keys
+#: carry the degraded context, so pre-fix fault-free entries can never
+#: alias a degraded query's key.
+_RESULT_SALT = "query-result-2"
 
 #: Default LRU capacity, in entries.  Query results are small (match-id
 #: sets plus plan metadata), so a few thousand entries cover a zipfian
@@ -75,8 +77,23 @@ class QueryResultCache:
         return len(self._entries)
 
     # ------------------------------------------------------------------
-    def key(self, op: str, params: Mapping[str, Any]) -> str:
-        """Content-addressed key for *op* with canonicalized *params*."""
+    def key(
+        self,
+        op: str,
+        params: Mapping[str, Any],
+        context: Mapping[str, Any] | None = None,
+    ) -> str:
+        """Content-addressed key for *op* with canonicalized *params*.
+
+        *context* is the degraded-topology context the answer was (or
+        would be) computed under — the planner passes its ``dead`` set
+        and ``root_replacements`` mapping.  It is hashed into the key, so
+        a fault-free answer can never be served for a degraded query (or
+        vice versa): the two live under different keys.  ``None`` (the
+        fault-free default) hashes exactly as before the context existed.
+        """
+        if context:
+            params = {**params, "__degraded__": context}
         return cache_key(f"query.{op}", params, _RESULT_SALT)
 
     def observe_generation(self, generation: int) -> int:

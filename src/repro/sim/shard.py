@@ -1,0 +1,1158 @@
+"""Sharded simulation engine with deterministic epoch barriers.
+
+:class:`ShardedNetwork` partitions the communication graph along quadtree
+cell boundaries into K spatial shards and executes each shard's protocol
+handlers in its own worker — in-process (``shard_mode="inline"``) or in a
+forked child process (``shard_mode="fork"``).  Cross-shard effects are
+exchanged only at deterministic **epoch barriers**, and the merged run is
+bit-identical to the single-process engines: same canonical trace stream,
+same clustering, same :class:`~repro.sim.stats.MessageStats` totals
+(certified by ``repro verify --replay --sharded``).
+
+Why one hop of lookahead is safe
+--------------------------------
+The engine exploits the simulator's *lookahead invariant*: every event
+scheduled at runtime lands at least one ``hop_delay`` after the event
+that scheduled it.  Message deliveries take ``hops * hop_delay`` (and a
+message to self still costs one ``hop_delay`` of processing time);
+protocol timers are multiples of ``ack_window * max_hop_delay`` with
+``ack_window > 2`` enforced by :class:`~repro.core.elink.ELinkConfig`.
+Zero-delay scheduling happens only *before* ``run()``.  Therefore once
+the earliest pending time ``t0`` is known, **every** event in the window
+``[t0, t0 + hop_delay)`` is already queued — nothing executed inside the
+window can add to it.  A defensive guard enforces this at runtime: a
+worker-produced effect that would land inside the current window raises
+instead of silently diverging.
+
+How exact serial order is preserved
+-----------------------------------
+The coordinator keeps the *only* total order.  Pre-run kernel entries are
+drained into a private calendar queue in exact ``(time, seq)`` order.
+Each epoch pops one window and classifies its entries:
+
+- **fault entries** (:class:`~repro.sim.faults.FaultInjector` callbacks)
+  execute on the coordinator, against the real network.  They split the
+  window into *segments*, because a fault mutates topology and cancels
+  timers for everything ordered after it.
+- every other entry belongs to exactly one shard and is dispatched to
+  that shard's worker.  A segment's entries are batched per shard and
+  executed in parallel; each worker returns, per entry, the buffered
+  trace events it emitted plus lightweight *effect descriptors* (new
+  messages, new timers, repair notices, completion callbacks).
+
+The coordinator then walks the segment **in original serial order**,
+re-emitting each entry's trace events into the real tracer and replaying
+its descriptors into the calendar queue.  Because descriptors are pushed
+in walk order and calendar buckets are FIFO, the future order equals the
+serial kernel's ``(time, seq)`` order exactly.
+
+Message payloads avoid the coordinator where possible: an intra-shard
+message stays in its worker's outbox keyed by an integer reference (only
+the reference crosses the process boundary), while a cross-shard
+("boundary") message ships by value so the destination shard can deliver
+it.  This keeps the dominant traffic shard-local in fork mode.
+
+Fault handling mirrors the serial engine bit for bit: the coordinator
+executes ``FaultInjector._apply`` itself (emitting the real
+``fault.inject`` / ``node.crash`` / ``timer.cancel`` events), while the
+overridden mutators synchronously broadcast each topology mutation to
+every worker so the shard-local graphs never drift.  Timer-cancellation
+counts sum the coordinator-held initial timers with a synchronous
+per-owner count from the owning shard.
+
+Observability: with a tracer attached the coordinator additionally emits
+``shard.epoch`` (window start, horizon, entry count), ``shard.boundary``
+(cross-shard messages replayed in the window) and ``shard.queues``
+(per-shard dispatched entry counts) — these are coordinator-only events
+and are filtered out by the sharded replay differ
+(:func:`repro.verify.replay.replay_sharded_check`).
+
+Unsupported (fail loudly, never silently diverge): jitter, lossy links,
+energy models, coordinator-side scheduling mid-run, and more than one
+``run()`` per instance.  Handlers must also not rely on mutating a
+received payload object in place being visible to the *sender* — shards
+do not share payload identity across the boundary.
+"""
+
+from __future__ import annotations
+
+import copy
+import gc
+import heapq
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.sim.faults import FaultInjector
+from repro.sim.kernel import Event, EventKernel, TimerWheelKernel, _callback_name
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.stats import MessageStats
+
+#: Handler attributes that are re-bound per worker (or are immutable
+#: run-wide bindings) and therefore excluded from the end-of-run state
+#: gather — everything else in a handler's ``__dict__`` is copied back
+#: onto the coordinator's original handler.
+_STATE_SKIP = frozenset(
+    {
+        # per-worker environment rebindings
+        "network",
+        "_obs",
+        "_handlers",
+        "_fault_injector",
+        "on_protocol_done",
+        # identity / immutable run-wide bindings (identical on the original)
+        "node_id",
+        "feature",
+        "metric",
+        "config",
+        "_child_subtree_max",
+        "_quad_level_of",
+        "_quad_children_of",
+        "_cell_fallbacks",
+        "_phase_patience",
+    }
+)
+
+#: Immutable scalar types eligible for the gather's changed-only diff
+#: (anything else could have been mutated in place and always ships).
+_SCALAR_TYPES = (int, float, bool, str, bytes, type(None))
+
+#: Baseline marker: the attribute held an empty container at clone time.
+_EMPTY = object()
+
+#: Container types whose emptiness the gather diff may trust.
+_CONTAINER_TYPES = (dict, set, list)
+
+
+def _state_baseline(state: Mapping[str, Any]) -> dict[str, Any]:
+    """The clone-time comparison baseline for one handler's ``__dict__``.
+
+    Captures exactly the values whose equality at finish time *proves*
+    the coordinator's original still matches: immutable scalars, tuples
+    of immutable scalars, and the emptiness of empty containers.  An
+    attribute outside these classes never enters the baseline and
+    therefore always ships back.
+    """
+    baseline: dict[str, Any] = {}
+    for key, value in state.items():
+        if key in _STATE_SKIP:
+            continue
+        kind = type(value)
+        if kind in _SCALAR_TYPES:
+            baseline[key] = value
+        elif kind is tuple and all(type(item) in _SCALAR_TYPES for item in value):
+            baseline[key] = value
+        elif kind in _CONTAINER_TYPES and not value:
+            baseline[key] = _EMPTY
+        elif kind is np.ndarray and value.size <= 16:
+            # Copied, so in-place writes are detected by the comparison.
+            baseline[key] = value.copy()
+    return baseline
+
+
+def _state_unchanged(value: Any, base: Any) -> bool:
+    """True when *value* provably equals its clone-time baseline entry."""
+    if base is _EMPTY:
+        return type(value) in _CONTAINER_TYPES and not value
+    if type(value) is not type(base):
+        return False
+    if type(value) is np.ndarray:
+        return (
+            value.shape == base.shape
+            and value.dtype == base.dtype
+            and bool((value == base).all())
+        )
+    if type(value) is tuple and not all(type(item) in _SCALAR_TYPES for item in value):
+        return False
+    return value == base
+
+
+# ----------------------------------------------------------------------
+# spatial shard plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of the graph's nodes into K shards.
+
+    Built along quadtree cell boundaries when a decomposition is
+    available (:meth:`from_quadtree`), so shard boundaries follow the
+    paper's spatial hierarchy and most protocol traffic — which is
+    cell-local by construction — stays intra-shard.  Falls back to
+    insertion-order contiguous blocks otherwise (:meth:`from_graph`).
+    """
+
+    #: Number of shards (some may be empty when K exceeds the cell count).
+    shards: int
+    #: node id -> shard index, for every node in the graph.
+    owner: Mapping[Hashable, int]
+    #: Per-shard node tuples (``members[s]`` lists shard *s* in order).
+    members: tuple[tuple[Hashable, ...], ...]
+    #: Quadtree level the cells were taken from (None for the fallback).
+    level: int | None
+
+    @classmethod
+    def from_quadtree(cls, quadtree, shards: int) -> "ShardPlan":
+        """Partition along the shallowest quadtree level with >= K cells.
+
+        Cells at any level partition all nodes, so packing whole cells
+        into shards (largest-first onto the lightest shard — LPT greedy,
+        deterministic tie-breaks) yields a balanced cover with spatial
+        locality.  If even the deepest level has fewer nonempty cells
+        than K, the deepest level is used and surplus shards stay empty.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        levels = quadtree._cells_by_level
+        chosen = len(levels) - 1
+        for level, cells in enumerate(levels):
+            if sum(1 for cell in cells if cell.members) >= shards:
+                chosen = level
+                break
+        cells = [cell for cell in levels[chosen] if cell.members]
+        order = sorted(range(len(cells)), key=lambda i: (-len(cells[i].members), i))
+        loads = [0] * shards
+        packed: list[list[Hashable]] = [[] for _ in range(shards)]
+        for index in order:
+            lightest = min(range(shards), key=lambda s: (loads[s], s))
+            packed[lightest].extend(cells[index].members)
+            loads[lightest] += len(cells[index].members)
+        return cls._from_members(shards, packed, chosen)
+
+    @classmethod
+    def from_graph(cls, graph, shards: int) -> "ShardPlan":
+        """Fallback partition: contiguous blocks in node insertion order."""
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        nodes = list(graph.nodes)
+        base, extra = divmod(len(nodes), shards)
+        packed = []
+        start = 0
+        for s in range(shards):
+            size = base + (1 if s < extra else 0)
+            packed.append(nodes[start : start + size])
+            start += size
+        return cls._from_members(shards, packed, None)
+
+    @classmethod
+    def _from_members(
+        cls, shards: int, packed: Sequence[Sequence[Hashable]], level: int | None
+    ) -> "ShardPlan":
+        owner: dict[Hashable, int] = {}
+        for s, nodes in enumerate(packed):
+            for node in nodes:
+                if node in owner:
+                    raise ValueError(f"node {node!r} assigned to two shards")
+                owner[node] = s
+        return cls(shards, owner, tuple(tuple(nodes) for nodes in packed), level)
+
+    def shard_of(self, node: Hashable) -> int:
+        """The shard index owning *node*."""
+        return self.owner[node]
+
+    def validate_cover(self, graph) -> None:
+        """Raise unless the plan assigns every graph node to a shard."""
+        missing = [node for node in graph.nodes if node not in self.owner]
+        if missing:
+            raise ValueError(
+                f"shard plan does not cover {len(missing)} graph node(s), "
+                f"e.g. {missing[:3]!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# worker-side substrate
+# ----------------------------------------------------------------------
+class _StubKernel:
+    """A clock, nothing more — the worker-side stand-in for the kernel.
+
+    Workers never run an event loop of their own: the coordinator owns
+    the only schedule, and all worker-side scheduling is intercepted by
+    :class:`_ShardLocalNetwork`.  Deliberately *not* an
+    :class:`~repro.sim.kernel.EventKernel` subclass, so the array
+    engine's ``isinstance(kernel, TimerWheelKernel)`` batching predicate
+    can never be satisfied by accident.  Any direct ``schedule``/``post``
+    call is a protocol reaching around the network layer — unsupported
+    under sharding, so it raises.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.tracer = None
+
+    def _unsupported(self, *_args, **_kwargs):
+        raise RuntimeError(
+            "direct kernel scheduling inside a shard worker is unsupported; "
+            "protocols must schedule through the network layer"
+        )
+
+    schedule = _unsupported
+    schedule_at = _unsupported
+    post = _unsupported
+    run = _unsupported
+
+
+class _BufferTracer:
+    """Per-entry trace buffer with the :class:`~repro.obs.trace.Tracer`
+    emit signature.
+
+    Workers emit into this buffer; the coordinator re-emits each entry's
+    buffered events into the real tracer at the entry's serial position,
+    so the merged stream is byte-identical to the single-process run.
+    Events are kept as plain ``(time, type, node, data)`` tuples — cheap
+    to pickle in fork mode.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[tuple[float, str, Hashable, dict]] = []
+
+    def emit(self, time: float, type: str, node: Hashable = None, **data: Any) -> None:
+        """Buffer one trace event (same signature as ``Tracer.emit``)."""
+        self.events.append((time, type, node, data))
+
+
+class _WorkerInjector:
+    """Worker-side stand-in for the handler's ``_fault_injector``.
+
+    Protocol handlers only ever call :meth:`note_repair` on it; the real
+    bookkeeping (``repairs`` / ``repair_times``) lives on the
+    coordinator's injector and is replayed from the emitted descriptor,
+    while the ``repair.note`` trace event is buffered here so it lands at
+    the exact serial position.
+    """
+
+    __slots__ = ("_worker",)
+
+    def __init__(self, worker: "ShardWorker") -> None:
+        self._worker = worker
+
+    def note_repair(self, kind: str, dead: Hashable, by: Hashable) -> None:
+        """Record a protocol-layer repair (mirrors ``FaultInjector``)."""
+        worker = self._worker
+        worker.ops.append(("r", kind, dead, by))
+        if worker.buffer is not None:
+            worker.buffer.emit(
+                worker.kernel.now, "repair.note", by, kind=kind, dead=dead
+            )
+
+
+class _DoneRelay:
+    """Replaces a handler's ``on_protocol_done`` inside a worker.
+
+    Buffers the completion as a descriptor; the coordinator invokes the
+    *original* callback (e.g. ``protocol_done_at.append``) at the entry's
+    serial position.
+    """
+
+    __slots__ = ("_worker", "_node")
+
+    def __init__(self, worker: "ShardWorker", node: Hashable) -> None:
+        self._worker = worker
+        self._node = node
+
+    def __call__(self, *args: Any) -> None:
+        self._worker.ops.append(("d", self._node, args))
+
+
+class _ShardLocalNetwork(Network):
+    """The network a shard's handler copies talk to.
+
+    A plain object-engine :class:`Network` over a full graph copy, with
+    the three scheduling surfaces replaced by descriptor emission:
+
+    - :meth:`_post_delivery` — instead of posting to a kernel, stash an
+      intra-shard message in the worker outbox (descriptor carries only
+      an integer reference) or ship a cross-shard message by value.
+    - :meth:`schedule_owned` — allocate a real :class:`Event` in the
+      worker's timer registry (so crash-time cancellation and counting
+      work locally) and emit a timer descriptor.
+    - :meth:`run` — never valid worker-side.
+
+    Everything else — adjacency checks, structured drops, routing BFS,
+    stats accounting, delivery dispatch, topology mutators — is the
+    inherited reference implementation, so worker behaviour is the
+    serial engine's behaviour by construction.
+
+    *adopt* (fork mode only) hands the worker the coordinator network's
+    own graph and prebuilt adjacency structures instead of copying and
+    rebuilding them: after the fork every inherited object is private to
+    the child via copy-on-write, so adopting is isolation-safe and skips
+    the O(N+E) per-child startup cost that dominates at 10^4+ nodes.
+    """
+
+    def __init__(self, worker: "ShardWorker", graph, adopt: Network | None = None, **kwargs: Any) -> None:
+        self._worker = worker
+        self._adopt = adopt
+        super().__init__(graph, kernel=_StubKernel(), **kwargs)
+
+    def _rebuild_adjacency(self) -> None:
+        """Adopt the coordinator's adjacency in fork children, else build."""
+        adopt = getattr(self, "_adopt", None)
+        if adopt is not None:
+            self._adj = adopt._adj
+            self._adj_sets = adopt._adj_sets
+        else:
+            super()._rebuild_adjacency()
+
+    def _post_delivery(self, delay: float, message: Message) -> None:
+        """Emit a message descriptor instead of scheduling locally."""
+        worker = self._worker
+        if worker.plan.owner[message.dst] == worker.shard_id:
+            worker.ops.append(("m", delay, worker.stash_message(message)))
+        else:
+            worker.ops.append(("M", delay, message))
+
+    def schedule_owned(self, owner: Hashable, delay: float, callback, *args) -> Event:
+        """Register an owned timer locally and emit a timer descriptor."""
+        worker = self._worker
+        event = Event(self.kernel.now + delay, callback, args)
+        event.owner = owner
+        bucket = self._owned_timers.setdefault(owner, [])
+        bucket.append(event)
+        if len(bucket) > 64:
+            self._owned_timers[owner] = [
+                ev for ev in bucket if not ev.fired and not ev.cancelled
+            ]
+        worker.ops.append(("t", delay, owner, worker.stash_timer(event)))
+        return event
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Worker networks never run a kernel loop."""
+        raise RuntimeError("shard-local networks are driven by the coordinator")
+
+
+class ShardWorker:
+    """One shard's execution context: handler copies over a local network.
+
+    Built from the coordinator's pre-run state — directly in inline mode,
+    from fork-inherited memory in fork mode.  Handler copies are shallow
+    (:func:`copy.copy`) with their environment re-bound: ``network`` to
+    the shard-local network, ``_obs`` to the per-entry trace buffer,
+    ``_fault_injector`` to a descriptor-emitting stub, memoized
+    ``_handlers`` reset (the cached bound methods point at the original
+    object), and ``on_protocol_done`` wrapped in a :class:`_DoneRelay`.
+    """
+
+    def __init__(
+        self,
+        network: "ShardedNetwork",
+        plan: ShardPlan,
+        shard_id: int,
+        *,
+        adopt_substrate: bool = False,
+    ):
+        self.plan = plan
+        self.shard_id = shard_id
+        self.buffer = _BufferTracer() if network._tracer is not None else None
+        self.ops: list[tuple] = []
+        self._outbox: dict[int, Message] = {}
+        self._timers: dict[int, Event] = {}
+        self._next_ref = 0
+        self.local = _ShardLocalNetwork(
+            self,
+            # Inline workers copy the graph (they share the coordinator's
+            # address space and must not see its fault mutations twice);
+            # fork children adopt the inherited one — see _ShardLocalNetwork.
+            network.graph if adopt_substrate else network.graph.copy(),
+            adopt=network if adopt_substrate else None,
+            hop_delay=network.hop_delay,
+            path_cache_size=network._path_cache_size,
+            tracer=self.buffer,
+        )
+        self.kernel = self.local.kernel
+        self._baselines: dict[Hashable, dict] = {}
+        injector_stub = _WorkerInjector(self)
+        for node in plan.members[shard_id]:
+            original = network._handlers.get(node)
+            if original is None:
+                continue
+            clone = copy.copy(original)
+            clone.network = self.local
+            clone._handlers = {}
+            clone._obs = self.buffer
+            if getattr(clone, "_fault_injector", None) is not None:
+                clone._fault_injector = injector_stub
+            if getattr(clone, "on_protocol_done", None) is not None:
+                clone.on_protocol_done = _DoneRelay(self, node)
+            self.local.register(node, clone)
+            self._baselines[node] = _state_baseline(clone.__dict__)
+
+    # -- descriptor references -----------------------------------------
+    def stash_message(self, message: Message) -> int:
+        """Hold an intra-shard message; the descriptor carries the ref."""
+        ref = self._next_ref
+        self._next_ref += 1
+        self._outbox[ref] = message
+        return ref
+
+    def stash_timer(self, event: Event) -> int:
+        """Register a worker-held timer event under an integer ref."""
+        ref = self._next_ref
+        self._next_ref += 1
+        self._timers[ref] = event
+        return ref
+
+    # -- entry execution -------------------------------------------------
+    def execute(self, batch: list[tuple]) -> list[tuple[list, list]]:
+        """Execute a segment's dispatch items for this shard, in order.
+
+        Returns one ``(ops, trace_events)`` pair per item: the effect
+        descriptors the entry produced and the trace events it buffered
+        (empty when the coordinator is untraced).
+        """
+        results = []
+        buffer = self.buffer
+        kernel = self.kernel
+        local = self.local
+        for item in batch:
+            self.ops = []
+            if buffer is not None:
+                buffer.events = []
+            tag = item[0]
+            kernel.now = item[1]
+            if tag == "timer":
+                event = self._timers.pop(item[2])
+                if event.cancelled:
+                    if buffer is not None:
+                        buffer.emit(
+                            item[1],
+                            "timer.skip",
+                            event.owner,
+                            callback=_callback_name(event.callback),
+                        )
+                else:
+                    event.fired = True
+                    if buffer is not None:
+                        buffer.emit(
+                            item[1],
+                            "timer.fire",
+                            event.owner,
+                            callback=_callback_name(event.callback),
+                        )
+                    event.callback(*event.args)
+            elif tag == "start":
+                _tag, _time, owner, node, method, args, fire = item
+                bound = getattr(local._handlers[node], method)
+                if fire and buffer is not None:
+                    buffer.emit(
+                        item[1], "timer.fire", owner, callback=_callback_name(bound)
+                    )
+                bound(*args)
+            elif tag == "local":
+                local._deliver(self._outbox.pop(item[2]))
+            else:  # "msg": cross-shard delivery by value
+                local._deliver(item[2])
+            results.append(
+                (self.ops, buffer.events if buffer is not None else [])
+            )
+        return results
+
+    # -- control plane ---------------------------------------------------
+    def control(self, record: tuple) -> Any:
+        """Synchronous control RPC: cancel / mutate / finish."""
+        tag = record[0]
+        if tag == "cancel":
+            # Counting and cancellation only; the coordinator emits the
+            # single merged timer.cancel event.
+            saved = self.local._tracer
+            self.local._tracer = None
+            try:
+                return self.local.cancel_owned(record[1])
+            finally:
+                self.local._tracer = saved
+        if tag == "mutate":
+            # Apply a topology mutation silently: the coordinator already
+            # emitted the real node.crash / link.down / ... event.
+            _tag, method, args = record
+            saved = self.local._tracer
+            self.local._tracer = None
+            try:
+                getattr(self.local, method)(*args)
+            finally:
+                self.local._tracer = saved
+            return None
+        if tag == "finish":
+            return self.finish()
+        raise ValueError(f"unknown shard control record {record!r}")
+
+    def finish(self) -> tuple[dict, MessageStats]:
+        """Gather final handler state and the shard's stats partial.
+
+        Only *changed* state ships back: an attribute that is still the
+        immutable scalar it held at clone time is identical on the
+        coordinator's original handler, so sending it would be pure
+        pickle volume.  Mutable values always ship — in-place mutation
+        cannot be detected against a shallow baseline.
+        """
+        states = {}
+        for node, handler in self.local._handlers.items():
+            baseline = self._baselines[node]
+            state = {}
+            for key, value in handler.__dict__.items():
+                if key in _STATE_SKIP:
+                    continue
+                if key in baseline and _state_unchanged(value, baseline[key]):
+                    continue
+                state[key] = value
+            states[node] = state
+        return states, self.local.stats
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+class _InlineTransport:
+    """All shard workers in the coordinator process (no parallelism).
+
+    The determinism reference: identical code paths to fork mode minus
+    the pickling, so tests can certify bit-identity quickly and the fork
+    transport only adds transport, never semantics.
+    """
+
+    def __init__(self, network: "ShardedNetwork", plan: ShardPlan) -> None:
+        self.workers = [
+            ShardWorker(network, plan, shard) for shard in range(plan.shards)
+        ]
+
+    def execute(self, batches: dict[int, list]) -> dict[int, list]:
+        """Run each shard's batch; returns per-shard result lists."""
+        return {
+            shard: self.workers[shard].execute(batch)
+            for shard, batch in sorted(batches.items())
+        }
+
+    def control_one(self, shard: int, record: tuple) -> Any:
+        """Synchronous control call against one shard."""
+        return self.workers[shard].control(record)
+
+    def broadcast(self, record: tuple) -> list:
+        """Synchronous control call against every shard, in shard order."""
+        return [worker.control(record) for worker in self.workers]
+
+    def close(self) -> None:
+        """Nothing to tear down in-process."""
+
+
+#: Fork-mode bootstrap: set in the parent immediately before the worker
+#: processes are forked, inherited copy-on-write by the children, then
+#: cleared.  (Module globals survive the fork; nothing is pickled.)
+_BOOTSTRAP: tuple["ShardedNetwork", ShardPlan] | None = None
+
+#: The child process's ShardWorker, built once by :func:`_fork_init`.
+_WORKER: ShardWorker | None = None
+
+
+def _fork_init(shard_id: int) -> None:
+    """Child-process initializer: build this shard's worker from the
+    fork-inherited coordinator state."""
+    global _WORKER
+    network, plan = _BOOTSTRAP
+    _WORKER = ShardWorker(network, plan, shard_id, adopt_substrate=True)
+    # The child inherits the coordinator's entire heap.  Freeze it into
+    # the permanent generation so generational collections never re-scan
+    # those millions of inherited objects (each scan also writes refcount
+    # bits, faulting their copy-on-write pages); the collector keeps
+    # running over per-epoch garbage only.
+    gc.freeze()
+
+
+def _fork_ready() -> bool:
+    """No-op task used to force worker spawn while the bootstrap is set."""
+    return _WORKER is not None
+
+
+def _fork_execute(batch: list[tuple]) -> list[tuple[list, list]]:
+    """Child-process task: execute a segment batch."""
+    return _WORKER.execute(batch)
+
+
+def _fork_control(record: tuple) -> Any:
+    """Child-process task: run a control RPC."""
+    return _WORKER.control(record)
+
+
+class _ForkTransport:
+    """One single-worker fork-context executor per shard.
+
+    ``max_workers=1`` per shard guarantees FIFO execution of that
+    shard's submissions; the fork start method hands each child the
+    coordinator's pre-run state through inherited memory, so only small
+    descriptors and boundary messages ever cross a pipe.
+    """
+
+    def __init__(self, network: "ShardedNetwork", plan: ShardPlan) -> None:
+        global _BOOTSTRAP
+        from repro.perf.pool import create_shard_executors
+
+        _BOOTSTRAP = (network, plan)
+        try:
+            self.pools = create_shard_executors(plan.shards, initializer=_fork_init)
+            # Force every child to fork NOW, while the bootstrap global is
+            # still populated (executors spawn workers lazily on first
+            # submit).
+            for ready in [pool.submit(_fork_ready) for pool in self.pools]:
+                if not ready.result():
+                    raise RuntimeError("shard worker failed to initialize")
+        finally:
+            _BOOTSTRAP = None
+
+    def execute(self, batches: dict[int, list]) -> dict[int, list]:
+        """Run each shard's batch in parallel; gather in shard order."""
+        futures = {
+            shard: self.pools[shard].submit(_fork_execute, batch)
+            for shard, batch in sorted(batches.items())
+        }
+        return {shard: future.result() for shard, future in futures.items()}
+
+    def control_one(self, shard: int, record: tuple) -> Any:
+        """Synchronous control call against one shard."""
+        return self.pools[shard].submit(_fork_control, record).result()
+
+    def broadcast(self, record: tuple) -> list:
+        """Synchronous control call against every shard, in shard order."""
+        futures = [pool.submit(_fork_control, record) for pool in self.pools]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the per-shard executors down."""
+        for pool in self.pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _default_shard_mode() -> str:
+    """``"fork"`` where the platform supports it, else ``"inline"``."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "inline"
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+class ShardedNetwork(Network):
+    """Epoch-barrier sharded engine (see module docstring).
+
+    Build directly, or via the engine selector::
+
+        network = Network(graph, engine="sharded", shards=4, quadtree=qt)
+
+    Additional parameters over :class:`Network`:
+
+    shards:
+        Number of spatial shards (default 2).
+    quadtree:
+        Optional :class:`~repro.geometry.quadtree.QuadTreeDecomposition`
+        used to build the :class:`ShardPlan` along cell boundaries; the
+        fallback partitions nodes into insertion-order blocks.
+    shard_mode:
+        ``"fork"`` (per-shard child processes; the default where the
+        platform supports the fork start method) or ``"inline"``
+        (in-process workers; deterministic reference, no parallelism).
+
+    Constraints: jitter, lossy links and energy models are rejected at
+    construction; exactly one :meth:`run` per instance.
+    """
+
+    engine = "sharded"
+
+    def __init__(
+        self,
+        graph,
+        kernel: EventKernel | None = None,
+        *,
+        shards: int = 2,
+        quadtree=None,
+        shard_mode: str | None = None,
+        **kwargs: Any,
+    ):
+        super().__init__(graph, kernel, **kwargs)
+        if self.jitter != 0.0:
+            raise ValueError("sharded engine requires jitter=0 (synchronous model)")
+        if self.loss is not None:
+            raise ValueError("sharded engine does not support lossy links")
+        if self.energy is not None:
+            raise ValueError("sharded engine does not support energy models")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shard_mode not in (None, "inline", "fork"):
+            raise ValueError(f"shard_mode must be 'inline' or 'fork', got {shard_mode!r}")
+        self.shards = int(shards)
+        self.shard_mode = shard_mode or _default_shard_mode()
+        self._quadtree = quadtree
+        self._plan: ShardPlan | None = None
+        self._transport = None
+        self._ran = False
+        self._injector: FaultInjector | None = None
+        self._done_callbacks: dict[Hashable, Callable] = {}
+        # Private calendar queue: time -> FIFO list of entry records.
+        self._pending: dict[float, list] = {}
+        self._ptimes: list[float] = []
+        self._window_end = 0.0
+        self._events_done = 0
+        self._max_events: int | None = None
+
+    @staticmethod
+    def _default_kernel() -> EventKernel:
+        """Pre-run scheduling lands in a wheel (drained at ``run()``)."""
+        return TimerWheelKernel()
+
+    # ------------------------------------------------------------------
+    # plan
+    # ------------------------------------------------------------------
+    def build_plan(self) -> ShardPlan:
+        """The shard plan this network will run with (built on demand)."""
+        if self._plan is None:
+            if self._quadtree is not None:
+                plan = ShardPlan.from_quadtree(self._quadtree, self.shards)
+            else:
+                plan = ShardPlan.from_graph(self.graph, self.shards)
+            plan.validate_cover(self.graph)
+            self._plan = plan
+        return self._plan
+
+    # ------------------------------------------------------------------
+    # coordinator-side guards and fault-path overrides
+    # ------------------------------------------------------------------
+    def _post_delivery(self, delay: float, message: Message) -> None:
+        if self._transport is not None:
+            raise RuntimeError(
+                "coordinator-side message scheduling during a sharded run is "
+                "unsupported (handlers execute inside shard workers)"
+            )
+        super()._post_delivery(delay, message)
+
+    def schedule_owned(self, owner: Hashable, delay: float, callback, *args) -> Event:
+        """Pre-run timers land in the coordinator wheel; mid-run
+        coordinator-side scheduling is a misuse and raises."""
+        if self._transport is not None:
+            raise RuntimeError(
+                "coordinator-side timer scheduling during a sharded run is "
+                "unsupported (handlers execute inside shard workers)"
+            )
+        return super().schedule_owned(owner, delay, callback, *args)
+
+    def cancel_owned(self, owner: Hashable) -> int:
+        """Cancel *owner*'s timers everywhere they live.
+
+        Coordinator-held initial timers are cancelled locally; the
+        owner's shard counts and cancels its worker-held timers via a
+        synchronous RPC.  One merged ``timer.cancel`` event is emitted —
+        the same single event the serial engine's unified registry
+        produces.
+        """
+        if self._transport is None:
+            return super().cancel_owned(owner)
+        cancelled = 0
+        for event in self._owned_timers.pop(owner, ()):
+            if not event.fired and not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        shard = self._plan.owner.get(owner)
+        if shard is not None:
+            cancelled += self._transport.control_one(shard, ("cancel", owner))
+        if cancelled and self._tracer is not None:
+            self._tracer.emit(self.kernel.now, "timer.cancel", owner, count=cancelled)
+        return cancelled
+
+    def _broadcast_mutation(self, method: str, args: tuple) -> None:
+        if self._transport is not None:
+            self._transport.broadcast(("mutate", method, args))
+
+    def remove_node(self, node_id: Hashable) -> tuple[Hashable, ...]:
+        """Crash *node_id* on the coordinator and every shard graph."""
+        was_dead = node_id in self.dead_nodes
+        neighbours = super().remove_node(node_id)
+        if not was_dead:
+            self._broadcast_mutation("remove_node", (node_id,))
+        return neighbours
+
+    def restore_node(self, node_id: Hashable, neighbours: Iterable[Hashable] = ()) -> None:
+        """Recover *node_id* on the coordinator and every shard graph."""
+        neighbours = tuple(neighbours)
+        super().restore_node(node_id, neighbours)
+        self._broadcast_mutation("restore_node", (node_id, neighbours))
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Sever *u*—*v* on the coordinator and every shard graph."""
+        changed = super().remove_edge(u, v)
+        if changed:
+            self._broadcast_mutation("remove_edge", (u, v))
+        return changed
+
+    def restore_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Restore *u*—*v* on the coordinator and every shard graph."""
+        changed = super().restore_edge(u, v)
+        if changed:
+            self._broadcast_mutation("restore_edge", (u, v))
+        return changed
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Execute the sharded run (exactly once per instance)."""
+        if self._ran:
+            raise RuntimeError(
+                "ShardedNetwork supports a single run() per instance; build a "
+                "fresh network for another run"
+            )
+        self._ran = True
+        plan = self.build_plan()
+        self._drain_kernel(plan)
+        if self.shard_mode == "fork":
+            transport = _ForkTransport(self, plan)
+        else:
+            transport = _InlineTransport(self, plan)
+        self._done_callbacks = {
+            node: handler.on_protocol_done
+            for node, handler in self._handlers.items()
+            if getattr(handler, "on_protocol_done", None) is not None
+        }
+        self._transport = transport
+        self._max_events = max_events
+        try:
+            self._run_epochs(until)
+            self._gather()
+        finally:
+            self._transport = None
+            transport.close()
+        return self.kernel.now
+
+    def _drain_kernel(self, plan: ShardPlan) -> None:
+        """Move every pre-run kernel entry into the calendar queue, in
+        exact ``(time, seq)`` order, classifying each one."""
+        kernel = self.kernel
+        if isinstance(kernel, TimerWheelKernel):
+            entries = [
+                (time, event, callback, args)
+                for time in sorted(kernel._buckets)
+                for (event, callback, args) in kernel._buckets[time]
+            ]
+            kernel._buckets.clear()
+            kernel._times.clear()
+            kernel._pending = 0
+        else:
+            entries = [
+                (time, event, callback, args)
+                for (time, _seq, event, callback, args) in sorted(
+                    kernel._heap, key=lambda item: (item[0], item[1])
+                )
+            ]
+            kernel._heap.clear()
+        for time, event, callback, args in entries:
+            self._push(time, self._classify(plan, event, callback, args))
+
+    def _classify(self, plan: ShardPlan, event, callback, args) -> tuple:
+        bound = getattr(callback, "__self__", None)
+        if isinstance(bound, FaultInjector):
+            self._injector = bound
+            return ("fault", event, callback, args)
+        if bound is not None:
+            node = getattr(bound, "node_id", None)
+            if node is not None and self._handlers.get(node) is bound:
+                return ("itimer", event, plan.owner[node], node, callback.__name__, args)
+        raise ValueError(
+            f"sharded engine cannot dispatch pre-run kernel entry {callback!r}; "
+            "only handler-bound timers and fault-injector events are supported"
+        )
+
+    def _push(self, time: float, record: tuple) -> None:
+        bucket = self._pending.get(time)
+        if bucket is None:
+            self._pending[time] = [record]
+            heapq.heappush(self._ptimes, time)
+        else:
+            bucket.append(record)
+
+    def _run_epochs(self, until: float | None) -> None:
+        horizon = self.hop_delay
+        tracer = self._tracer
+        while self._ptimes:
+            t0 = self._ptimes[0]
+            if until is not None and t0 > until:
+                self.kernel.now = until
+                return
+            window_end = t0 + horizon
+            entries: list[tuple[float, tuple]] = []
+            while self._ptimes and self._ptimes[0] < window_end and (
+                until is None or self._ptimes[0] <= until
+            ):
+                time = heapq.heappop(self._ptimes)
+                for record in self._pending.pop(time):
+                    entries.append((time, record))
+            self._window_end = window_end
+            if tracer is not None:
+                tracer.emit(
+                    t0,
+                    "shard.epoch",
+                    None,
+                    start=t0,
+                    horizon=window_end,
+                    entries=len(entries),
+                )
+            self._process_window(entries)
+        if until is not None and until > self.kernel.now:
+            self.kernel.now = until
+
+    def _process_window(self, entries: list[tuple[float, tuple]]) -> None:
+        tracer = self._tracer
+        boundary = 0
+        queues = [0] * self._plan.shards
+        start = 0
+        total = len(entries)
+        while start < total:
+            end = start
+            while end < total and entries[end][1][0] != "fault":
+                end += 1
+            if end > start:
+                boundary_part, queue_part = self._process_segment(entries[start:end])
+                boundary += boundary_part
+                for shard, count in enumerate(queue_part):
+                    queues[shard] += count
+            if end < total:
+                time, record = entries[end]
+                self._check_budget()
+                self.kernel.now = time
+                _tag, event, callback, args = record
+                if event is not None:
+                    event.fired = True
+                    if tracer is not None:
+                        tracer.emit(
+                            time, "timer.fire", event.owner,
+                            callback=_callback_name(callback),
+                        )
+                callback(*args)
+                self._events_done += 1
+                end += 1
+            start = end
+        if tracer is not None and entries:
+            last_time = entries[-1][0]
+            tracer.emit(last_time, "shard.boundary", None, messages=boundary)
+            tracer.emit(last_time, "shard.queues", None, depths=queues)
+
+    def _process_segment(
+        self, entries: list[tuple[float, tuple]]
+    ) -> tuple[int, list[int]]:
+        """Dispatch one fault-free segment and merge its effects back.
+
+        Returns ``(boundary_messages, per_shard_dispatch_counts)`` for
+        the window's ``shard.*`` accounting.
+        """
+        batches: dict[int, list] = {}
+        slots: list[tuple] = []
+        boundary = 0
+        for time, record in entries:
+            tag = record[0]
+            if tag == "itimer":
+                _tag, event, shard, node, method, args = record
+                if event is not None and event.cancelled:
+                    slots.append(
+                        ("skip", time, event.owner, _callback_name(event.callback))
+                    )
+                    continue
+                fire = event is not None
+                if fire:
+                    event.fired = True
+                owner = event.owner if event is not None else None
+                items = batches.setdefault(shard, [])
+                items.append(("start", time, owner, node, method, args, fire))
+            elif tag == "wtimer":
+                _tag, shard, ref = record
+                items = batches.setdefault(shard, [])
+                items.append(("timer", time, ref))
+            elif tag == "lmsg":
+                _tag, shard, ref = record
+                items = batches.setdefault(shard, [])
+                items.append(("local", time, ref))
+            else:  # "xmsg"
+                _tag, message = record
+                boundary += 1
+                shard = self._plan.owner[message.dst]
+                items = batches.setdefault(shard, [])
+                items.append(("msg", time, message))
+            slots.append((shard, len(items) - 1))
+        results = self._transport.execute(batches)
+        tracer = self._tracer
+        cursor = 0
+        for time, _record in entries:
+            slot = slots[cursor]
+            cursor += 1
+            if slot[0] == "skip":
+                # Cancelled coordinator-held timer: the serial kernel pops
+                # and skips it without counting it as executed.
+                if tracer is not None:
+                    tracer.emit(slot[1], "timer.skip", slot[2], callback=slot[3])
+                continue
+            self._check_budget()
+            self.kernel.now = time
+            shard, index = slot
+            ops, events = results[shard][index]
+            if tracer is not None:
+                for ev_time, ev_type, ev_node, ev_data in events:
+                    tracer.emit(ev_time, ev_type, ev_node, **ev_data)
+            for op in ops:
+                self._replay_op(shard, time, op)
+            self._events_done += 1
+        return boundary, [len(batches.get(s, ())) for s in range(self._plan.shards)]
+
+    def _check_budget(self) -> None:
+        if self._max_events is not None and self._events_done >= self._max_events:
+            raise RuntimeError(
+                f"kernel exceeded max_events={self._max_events}; "
+                "a protocol is probably not terminating"
+            )
+
+    def _replay_op(self, shard: int, time: float, op: tuple) -> None:
+        """Replay one worker effect descriptor at its serial position."""
+        tag = op[0]
+        if tag == "m" or tag == "M":
+            land = time + op[1]
+            self._guard_lookahead(land, "message")
+            if tag == "m":
+                self._push(land, ("lmsg", shard, op[2]))
+            else:
+                self._push(land, ("xmsg", op[2]))
+        elif tag == "t":
+            _tag, delay, owner, ref = op
+            land = time + delay
+            self._guard_lookahead(land, "timer")
+            self._push(land, ("wtimer", shard, ref))
+        elif tag == "r":
+            _tag, kind, dead, by = op
+            injector = self._injector
+            if injector is None:
+                raise RuntimeError("repair descriptor replayed without an injector")
+            injector.repairs.append((time, kind, dead, by))
+            if dead not in injector.repair_times:
+                injector.repair_times[dead] = time
+        else:  # "d": protocol completion callback
+            _tag, node, args = op
+            self._done_callbacks[node](*args)
+
+    def _guard_lookahead(self, land: float, what: str) -> None:
+        if land < self._window_end:
+            raise RuntimeError(
+                f"lookahead violation: a worker {what} lands at t={land:g}, "
+                f"inside the current epoch window ending at "
+                f"t={self._window_end:g}; the sharded engine requires every "
+                "runtime effect to land at least one hop_delay ahead"
+            )
+
+    def _gather(self) -> None:
+        """Fold per-shard results into the coordinator: handler state
+        onto the original handlers, stats partials into ``self.stats``."""
+        for states, stats in self._transport.broadcast(("finish",)):
+            self.stats.merge(stats)
+            for node, state in states.items():
+                self._handlers[node].__dict__.update(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedNetwork(nodes={self.graph.number_of_nodes()}, "
+            f"shards={self.shards}, mode={self.shard_mode}, "
+            f"t={self.kernel.now:.2f})"
+        )

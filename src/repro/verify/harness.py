@@ -25,7 +25,7 @@ from repro.core import ELinkConfig, run_elink
 from repro.core.elink import ELinkResult, compute_kappa
 from repro.features.metrics import EuclideanMetric
 from repro.geometry.quadtree import QuadTreeDecomposition
-from repro.geometry.topology import Topology, grid_topology
+from repro.geometry.topology import Topology, grid_topology, random_geometric_topology
 from repro.obs.trace import Tracer
 from repro.sim import FaultInjector, FaultPlan, Network
 from repro.verify.runtime import verification
@@ -47,18 +47,37 @@ class ScenarioSpec:
     churn_events: int = 0
     #: ELink signalling mode; explicit exercises the episode machinery.
     signalling: str = "explicit"
-    #: Simulation engine ("object" | "array"); None follows REPRO_ENGINE.
-    #: Cross-engine byte-identity is checked by diffing traces from two
-    #: specs differing only in this field.
+    #: Simulation engine ("object" | "array" | "sharded"); None follows
+    #: REPRO_ENGINE.  Cross-engine byte-identity is checked by diffing
+    #: traces from two specs differing only in this field.
     engine: str | None = None
+    #: Shard count for the sharded engine (ignored by the others).
+    shards: int = 2
+    #: Shard transport ("inline" | "fork"); None picks the platform default.
+    shard_mode: str | None = None
+    #: Topology family: "grid" (the default chaos shape) or "geometric"
+    #: (uniform-random placement with radio-range links, paper §8.1).
+    topology: str = "grid"
 
     def __post_init__(self) -> None:
         if self.side < 2:
             raise ValueError(f"side must be >= 2, got {self.side}")
         if not 0.0 <= self.crash_fraction <= 1.0:
             raise ValueError(f"crash_fraction must be in [0, 1], got {self.crash_fraction}")
-        if self.engine not in (None, "object", "array"):
-            raise ValueError(f"engine must be 'object' or 'array', got {self.engine!r}")
+        if self.engine not in (None, "object", "array", "sharded"):
+            raise ValueError(
+                f"engine must be 'object', 'array' or 'sharded', got {self.engine!r}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_mode not in (None, "inline", "fork"):
+            raise ValueError(
+                f"shard_mode must be 'inline' or 'fork', got {self.shard_mode!r}"
+            )
+        if self.topology not in ("grid", "geometric"):
+            raise ValueError(
+                f"topology must be 'grid' or 'geometric', got {self.topology!r}"
+            )
 
 
 def build_scenario(
@@ -70,7 +89,10 @@ def build_scenario(
     place), so calling twice with the same spec yields two byte-identical
     runs — the property the replay differ checks.
     """
-    base = grid_topology(spec.side, spec.side)
+    if spec.topology == "geometric":
+        base = random_geometric_topology(spec.side * spec.side, seed=spec.seed)
+    else:
+        base = grid_topology(spec.side, spec.side)
     graph = base.graph.copy()
     topology = Topology(graph, dict(base.positions))
     features = {
@@ -81,7 +103,16 @@ def build_scenario(
     )
     quadtree = QuadTreeDecomposition(topology)
     kappa = compute_kappa(topology.num_nodes, config.gamma)
-    network = Network(graph, engine=spec.engine)
+    if spec.engine == "sharded":
+        network = Network(
+            graph,
+            engine="sharded",
+            shards=spec.shards,
+            quadtree=quadtree,
+            shard_mode=spec.shard_mode,
+        )
+    else:
+        network = Network(graph, engine=spec.engine)
     # The quadtree root is protected: it anchors the explicit round cascade
     # and result collection, same as the runner's --crash path.
     plan = FaultPlan.random(

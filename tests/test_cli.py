@@ -1,5 +1,8 @@
 """Tests for the command-line interface (in-process, no subprocesses)."""
 
+import io
+import sys
+
 import pytest
 
 from repro.cli import main
@@ -143,3 +146,65 @@ def test_experiment_unknown(capsys):
 def test_missing_subcommand_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ----------------------------------------------------------------------
+# pipe safety: `repro <cmd> ... | head` must exit cleanly for EVERY
+# subcommand when the pipe's reader goes away mid-output.
+# ----------------------------------------------------------------------
+class _ClosedPipe(io.TextIOBase):
+    """A stdout whose consumer (e.g. ``head``) has already exited."""
+
+    def writable(self):
+        return True
+
+    def write(self, _s):
+        raise BrokenPipeError
+
+
+@pytest.fixture(scope="module")
+def pipe_artifacts(tmp_path_factory):
+    """Saved state + recorded trace the piped subcommands read back."""
+    root = tmp_path_factory.mktemp("pipe-cli")
+    state = root / "state.json"
+    trace = root / "trace.jsonl"
+    assert main(
+        [
+            "cluster", "--dataset", "synthetic", "--n", "40",
+            "--algorithm", "elink", "--delta", "0.06",
+            "--save", str(state), "--trace", str(trace),
+        ]
+    ) == 0
+    return {"state": str(state), "trace": str(trace), "cachedir": str(root / "cache")}
+
+
+_PIPE_CASES = {
+    "info": lambda art: ["info"],
+    "cluster": lambda art: [
+        "cluster", "--dataset", "synthetic", "--n", "24",
+        "--algorithm", "spanning-forest", "--delta", "0.3",
+    ],
+    "query": lambda art: [
+        "query", "--state", art["state"], "--node", "5", "--radius", "0.05",
+    ],
+    "query-explain": lambda art: [
+        "query", "--state", art["state"], "--node", "5", "--radius", "0.05", "--explain",
+    ],
+    "query-bench": lambda art: [
+        "query-bench", "--quick", "--n", "24", "--queries", "4", "--no-bench",
+    ],
+    "experiment": lambda art: ["experiment", "complexity", "--quick"],
+    "trace": lambda art: ["trace", art["trace"]],
+    "verify": lambda art: ["verify", "--n", "9", "--crash", "0.0"],
+    "cache": lambda art: ["cache", "stats", "--dir", art["cachedir"]],
+    "serve": lambda art: ["serve", "--n", "16", "--rounds", "2", "--bootstrap-rounds", "2"],
+}
+
+
+@pytest.mark.parametrize("subcommand", sorted(_PIPE_CASES))
+def test_subcommand_survives_closed_stdout(subcommand, pipe_artifacts, monkeypatch):
+    # The guards close stderr on their way out (the standard quiet-exit
+    # idiom), so hand them a throwaway stream rather than pytest's.
+    monkeypatch.setattr(sys, "stdout", _ClosedPipe())
+    monkeypatch.setattr(sys, "stderr", io.StringIO())
+    assert main(_PIPE_CASES[subcommand](pipe_artifacts)) == 0

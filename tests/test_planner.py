@@ -184,6 +184,187 @@ def test_cache_lru_eviction_counted():
 # ----------------------------------------------------------------------
 
 
+# ----------------------------------------------------------------------
+# degraded topologies: the cost model must see dead/replaced nodes
+# ----------------------------------------------------------------------
+
+
+def _planner_for(ctx, *, graph=None, backbone=None, cache=None, **degraded):
+    return QueryPlanner(
+        ctx["graph"] if graph is None else graph,
+        ctx["clustering"],
+        ctx["features"],
+        ctx["metric"],
+        ctx["mtree"],
+        ctx["backbone"] if backbone is None else backbone,
+        cache=cache,
+        **degraded,
+    )
+
+
+def _hub_root(ctx):
+    """The highest-degree backbone root — killing it severs the most."""
+    backbone = ctx["backbone"]
+    return max(
+        ctx["clustering"].roots, key=lambda r: (backbone.tree.degree(r), repr(r))
+    )
+
+
+def test_degraded_planner_never_plans_flood(scenario):
+    """Flooding routes through dead nodes, so a degraded planner must
+    never choose it — and must refuse to have it forced."""
+    degraded = _planner_for(scenario, dead={_hub_root(scenario)})
+    for query in _workload(scenario, queries=24, seed=3):
+        plan = getattr(degraded, f"plan_{query.op}")(**query.kwargs())
+        assert plan.backend != "flood"
+        assert plan.estimates["flood"] == float("inf")
+    q = np.array([0.5])
+    with pytest.raises(ValueError, match="flood"):
+        degraded.range(q, 0.6, 0, backend="flood")
+    with pytest.raises(ValueError, match="flood"):
+        degraded.knn(q, 2, 0, backend="flood")
+
+
+def test_stale_fault_free_model_picks_strictly_costlier_backend(scenario):
+    """The PR-8 regression: a planner that ignores the dead set keeps
+    flood's fault-free price on the table and hands unselective queries
+    to a backend the degraded engines refuse — strictly costlier than
+    the degraded model's finite-cost choice, by its own estimate."""
+    stale = _planner_for(scenario)
+    degraded = _planner_for(scenario, dead={_hub_root(scenario)})
+    divergent = 0
+    for query in _workload(scenario, mix="balanced", queries=40, seed=3):
+        stale_plan = getattr(stale, f"plan_{query.op}")(**query.kwargs())
+        fresh_plan = getattr(degraded, f"plan_{query.op}")(**query.kwargs())
+        if stale_plan.backend == fresh_plan.backend:
+            continue
+        divergent += 1
+        assert stale_plan.backend == "flood"
+        # The degraded engines refuse the stale choice outright...
+        with pytest.raises(ValueError, match="flood"):
+            getattr(degraded, query.op)(**query.kwargs(), backend=stale_plan.backend)
+        # ...while the degraded model's choice executes at a finite cost
+        # below what the stale model was prepared to pay for flooding.
+        executed = getattr(degraded, query.op)(
+            **query.kwargs(), backend=fresh_plan.backend
+        )
+        assert executed.messages < stale_plan.estimates["flood"]
+    assert divergent > 0, "seeded chaos scenario produced no plan divergence"
+
+
+def test_degraded_backends_agree_with_degraded_engines(scenario):
+    """mtree and backbone plans return the degraded engines' answers —
+    same matches/neighbors, same coverage — under a severed backbone."""
+    dead = _hub_root(scenario)
+    degraded = _planner_for(scenario, dead={dead})
+    alive = sorted(
+        (n for n in scenario["graph"].nodes if n != dead), key=repr
+    )
+    for query in _workload(scenario, queries=24, seed=7):
+        kwargs = dict(query.kwargs())
+        if query.op == "path":
+            if kwargs["source"] == dead or kwargs["destination"] == dead:
+                continue
+        elif kwargs["initiator"] == dead:
+            kwargs["initiator"] = alive[0]
+        mtree = getattr(degraded, query.op)(**kwargs, backend="mtree")
+        backbone = getattr(degraded, query.op)(**kwargs, backend="backbone")
+        assert canonical_answer(query.op, mtree.result) == canonical_answer(
+            query.op, backbone.result
+        )
+        assert mtree.result.coverage == pytest.approx(backbone.result.coverage)
+        if query.op == "range":
+            assert dead not in mtree.result.matches
+
+
+def test_degraded_planner_with_replacement_root(scenario):
+    """A re-elected root keeps its cluster consultable: both clustered
+    backends agree, and the dead node itself never appears in answers."""
+    import copy
+
+    clustering = scenario["clustering"]
+    dead = next(
+        r
+        for r in sorted(clustering.roots, key=repr)
+        if len(clustering.members(r)) >= 2
+    )
+    replacement = min(
+        (m for m in clustering.members(dead) if m != dead), key=repr
+    )
+    surviving = scenario["graph"].copy()
+    surviving.remove_node(dead)
+    rerouted = copy.deepcopy(scenario["backbone"])
+    rerouted.reroute_around(surviving, dead, replacement)
+    degraded = _planner_for(
+        scenario,
+        graph=surviving,
+        backbone=rerouted,
+        dead={dead},
+        root_replacements={dead: replacement},
+    )
+    for query in _workload(scenario, queries=16, seed=9):
+        kwargs = dict(query.kwargs())
+        if query.op == "path":
+            if dead in (kwargs["source"], kwargs["destination"]):
+                continue
+        elif kwargs["initiator"] == dead:
+            continue
+        mtree = getattr(degraded, query.op)(**kwargs, backend="mtree")
+        backbone = getattr(degraded, query.op)(**kwargs, backend="backbone")
+        assert canonical_answer(query.op, mtree.result) == canonical_answer(
+            query.op, backbone.result
+        )
+        if query.op == "range":
+            assert dead not in mtree.result.matches
+        elif query.op == "knn":
+            assert dead not in {node for node, _ in mtree.result.neighbors}
+        elif mtree.result.path is not None:
+            assert dead not in mtree.result.path
+
+
+# ----------------------------------------------------------------------
+# result cache: degraded context is part of the key (stale-answer fix)
+# ----------------------------------------------------------------------
+
+
+def test_cache_never_serves_fault_free_answer_to_degraded_query(scenario):
+    """The PR-8 cache regression: one shared cache, a fault-free planner
+    and a degraded one — the degraded query must miss (different key),
+    recompute, and both contexts then hit their own entries."""
+    cache = QueryResultCache()
+    fault_free = _planner_for(scenario, cache=cache)
+    degraded = _planner_for(scenario, cache=cache, dead={_hub_root(scenario)})
+    dead = _hub_root(scenario)
+    q = scenario["features"][dead]
+    initiator = next(
+        n
+        for n in sorted(scenario["graph"].nodes, key=repr)
+        if scenario["clustering"].root_of(n) != dead
+    )
+    cold = fault_free.range(q, 0.6, initiator)
+    assert not cold.cached and dead in cold.result.matches
+    served = degraded.range(q, 0.6, initiator)
+    assert not served.cached, "fault-free cached answer served degraded"
+    assert dead not in served.result.matches
+    # Each context now hits its OWN entry, never the other's.
+    assert fault_free.range(q, 0.6, initiator).result is cold.result
+    assert degraded.range(q, 0.6, initiator).result is served.result
+
+
+def test_cache_key_distinguishes_degraded_contexts():
+    cache = QueryResultCache()
+    params = {"q": np.array([0.5]), "radius": 0.6, "initiator": 0}
+    plain = cache.key("range", params)
+    ctx_a = {"dead": [3], "root_replacements": []}
+    ctx_b = {"dead": [3], "root_replacements": [(3, 7)]}
+    assert plain != cache.key("range", params, context=ctx_a)
+    assert cache.key("range", params, context=ctx_a) != cache.key(
+        "range", params, context=ctx_b
+    )
+    # The fault-free default context hashes exactly as no context.
+    assert plain == cache.key("range", params, context=None)
+
+
 def test_planner_emits_queries_trace_events():
     ctx = _fresh_ctx(n=30)
     tracer = Tracer()

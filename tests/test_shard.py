@@ -1,0 +1,171 @@
+"""Tests for the epoch-barrier sharded simulation engine.
+
+Covers the :class:`~repro.sim.shard.ShardPlan` partition properties, the
+serial-vs-sharded byte-identity certificate (:func:`replay_sharded_check`)
+across topologies, shard counts, transports and chaos levels, the
+constructor gates that reject unsupported configurations, the engine
+selector wiring, and the coordinator's ``shard.*`` observability events.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.geometry.quadtree import QuadTreeDecomposition
+from repro.geometry.topology import grid_topology
+from repro.obs.inspect import TraceInspector
+from repro.obs.trace import Tracer
+from repro.sim import EnergyModel, LossyLinkModel, Network, ShardedNetwork, ShardPlan
+from repro.sim.network import ENGINE_ENV
+from repro.verify import ScenarioSpec, replay_sharded_check, run_scenario
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# shard plan
+# ----------------------------------------------------------------------
+def test_plan_from_graph_covers_and_balances():
+    graph = grid_topology(5, 5).graph
+    plan = ShardPlan.from_graph(graph, 4)
+    plan.validate_cover(graph)
+    sizes = [len(members) for members in plan.members]
+    assert sum(sizes) == graph.number_of_nodes()
+    assert max(sizes) - min(sizes) <= 1
+    assert plan.level is None
+    assert all(plan.shard_of(node) == plan.owner[node] for node in graph.nodes)
+
+
+def test_plan_from_quadtree_covers_and_is_deterministic():
+    topology = grid_topology(6, 6)
+    quadtree = QuadTreeDecomposition(topology)
+    plan_a = ShardPlan.from_quadtree(quadtree, 4)
+    plan_b = ShardPlan.from_quadtree(quadtree, 4)
+    plan_a.validate_cover(topology.graph)
+    assert plan_a.members == plan_b.members
+    assert plan_a.level is not None
+    # LPT over whole cells: no shard may end up empty on a 36-node grid.
+    assert all(plan_a.members[s] for s in range(4))
+
+
+def test_plan_rejects_bad_inputs():
+    graph = grid_topology(3, 3).graph
+    with pytest.raises(ValueError, match="shards must be >= 1"):
+        ShardPlan.from_graph(graph, 0)
+    with pytest.raises(ValueError, match="two shards"):
+        ShardPlan._from_members(2, [[0, 1], [1, 2]], None)
+    partial = ShardPlan.from_graph(grid_topology(2, 2).graph, 2)
+    with pytest.raises(ValueError, match="does not cover"):
+        partial.validate_cover(graph)
+
+
+# ----------------------------------------------------------------------
+# serial-vs-sharded byte-identity certificate
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "spec",
+    [
+        ScenarioSpec(side=5, crash_fraction=0.05, shards=2, shard_mode="inline"),
+        ScenarioSpec(
+            side=6, crash_fraction=0.1, churn_events=3, shards=4, shard_mode="inline"
+        ),
+        ScenarioSpec(
+            side=5,
+            crash_fraction=0.05,
+            shards=2,
+            shard_mode="inline",
+            topology="geometric",
+        ),
+    ],
+    ids=["grid-2sh-crash5", "grid-4sh-chaos", "geometric-2sh-crash5"],
+)
+def test_sharded_replay_identical_inline(spec):
+    report = replay_sharded_check(spec, level="full")
+    assert report.identical, str(report)
+    assert report.events > 0
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+def test_sharded_replay_identical_fork():
+    spec = ScenarioSpec(side=5, crash_fraction=0.05, shards=2, shard_mode="fork")
+    report = replay_sharded_check(spec)
+    assert report.identical, str(report)
+
+
+def test_sharded_report_strings():
+    spec = ScenarioSpec(side=4, crash_fraction=0.0, shards=2, shard_mode="inline")
+    report = replay_sharded_check(spec)
+    assert "byte-identical" in str(report)
+
+
+# ----------------------------------------------------------------------
+# constructor gates and selector wiring
+# ----------------------------------------------------------------------
+def test_constructor_gates():
+    graph = grid_topology(3, 3).graph
+    with pytest.raises(ValueError, match="jitter"):
+        ShardedNetwork(graph, jitter=0.5)
+    with pytest.raises(ValueError, match="lossy"):
+        ShardedNetwork(graph, loss=LossyLinkModel(0.1))
+    with pytest.raises(ValueError, match="energy"):
+        ShardedNetwork(graph, energy=EnergyModel())
+    with pytest.raises(ValueError, match="shards must be >= 1"):
+        ShardedNetwork(graph, shards=0)
+    with pytest.raises(ValueError, match="shard_mode"):
+        ShardedNetwork(graph, shard_mode="threads")
+
+
+def test_run_is_single_use():
+    sharded = ShardedNetwork(grid_topology(3, 3).graph, shards=2, shard_mode="inline")
+    sharded.run(until=1.0)
+    with pytest.raises(RuntimeError, match="single run"):
+        sharded.run(until=2.0)
+
+
+def test_engine_selector_and_env(monkeypatch):
+    graph = grid_topology(3, 3).graph
+    network = Network(graph, engine="sharded", shards=2, shard_mode="inline")
+    assert isinstance(network, ShardedNetwork)
+    assert network.engine == "sharded"
+    monkeypatch.setenv(ENGINE_ENV, "sharded")
+    via_env = Network(grid_topology(3, 3).graph)
+    assert isinstance(via_env, ShardedNetwork)
+
+
+def test_mid_run_coordinator_scheduling_rejected():
+    """The coordinator rejects scheduling once workers own the handlers."""
+    sharded = ShardedNetwork(grid_topology(3, 3).graph, shards=2, shard_mode="inline")
+    sharded._transport = object()  # simulate an in-flight run
+    with pytest.raises(RuntimeError, match="unsupported"):
+        sharded.schedule_owned(0, 1.0, lambda: None)
+    sharded._transport = None
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def test_shard_events_and_inspector_rollup():
+    spec = ScenarioSpec(
+        side=5, crash_fraction=0.05, engine="sharded", shards=2, shard_mode="inline"
+    )
+    tracer = Tracer()
+    run_scenario(spec, tracer=tracer)
+    events = list(tracer.events())
+    types = {event.type for event in events}
+    assert {"shard.epoch", "shard.boundary", "shard.queues"} <= types
+    inspector = TraceInspector(events)
+    report = inspector.shard_report()
+    assert report is not None
+    assert report["epochs"] > 0
+    assert len(report["shard_dispatch"]) == 2
+    assert "epoch barriers" in inspector.shard_text()
+    assert "shards:" in inspector.summary_text()
+
+
+def test_shard_report_absent_on_serial_trace():
+    spec = ScenarioSpec(side=4, crash_fraction=0.0, engine="object")
+    tracer = Tracer()
+    run_scenario(spec, tracer=tracer)
+    inspector = TraceInspector(list(tracer.events()))
+    assert inspector.shard_report() is None
+    assert inspector.shard_text() == "no shard.* events in trace"

@@ -1,0 +1,133 @@
+"""Property-based tests: MessageStats exact-merge semantics.
+
+The sharded engine accounts message costs in per-shard ``MessageStats``
+partials and folds them into the coordinator's accumulator with
+:meth:`~repro.sim.stats.MessageStats.merge`.  These tests prove the
+contract that makes that exact: for ANY interleaving of charge /
+charge_batch / drop operations, partitioning the ops across K shards
+(in any way), replaying each shard's slice locally and merging the
+partials (in any order) reproduces the serial totals bit-for-bit.
+``derandomize=True`` keeps the corpus fixed so CI runs are reproducible.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import MessageStats
+from repro.verify import check_stats_conservation
+
+KINDS = ("join", "newcluster", "ack1", "ack2", "probe", "update", "query")
+CATEGORIES = ("clustering", "repair", "query", "maintenance")
+REASONS = ("dead_destination", "dead_relay", "link_down", "no_route")
+
+#: One accounting operation, as the network layers issue them.  reset()
+#: is deliberately excluded: a shard never resets mid-run, and a reset
+#: in one shard could not be linearized against the others' history.
+_operations = st.one_of(
+    st.tuples(
+        st.just("charge"),
+        st.sampled_from(KINDS),
+        st.sampled_from(CATEGORIES),
+        st.integers(min_value=1, max_value=8),   # values
+        st.integers(min_value=1, max_value=12),  # hops
+    ),
+    st.tuples(
+        st.just("charge_batch"),
+        st.sampled_from(KINDS),
+        st.sampled_from(CATEGORIES),
+        st.integers(min_value=1, max_value=8),   # values
+        st.integers(min_value=1, max_value=12),  # count
+    ),
+    st.tuples(st.just("drop"), st.sampled_from(KINDS), st.sampled_from(REASONS)),
+)
+
+
+def _apply(stats: MessageStats, operation) -> None:
+    if operation[0] == "charge":
+        _, kind, category, values, hops = operation
+        stats.charge(kind, category, values, hops=hops)
+    elif operation[0] == "charge_batch":
+        _, kind, category, values, count = operation
+        stats.charge_batch(kind, category, values, count)
+    else:
+        _, kind, reason = operation
+        stats.drop(kind, reason)
+
+
+def _equal(a: MessageStats, b: MessageStats) -> None:
+    assert a.snapshot() == b.snapshot()
+    assert a.total_packets == b.total_packets
+    assert a.total_values == b.total_values
+    assert a.total_drops == b.total_drops
+
+
+@settings(derandomize=True, deadline=None, max_examples=80)
+@given(
+    st.lists(_operations, max_size=50),
+    st.integers(min_value=1, max_value=5),       # shard count K
+    st.randoms(use_true_random=False),
+)
+def test_sharded_partials_merge_to_serial_totals(operations, shards, rng):
+    """Any shard assignment of any op sequence merges back exactly."""
+    serial = MessageStats()
+    partials = [MessageStats() for _ in range(shards)]
+    assignment = [rng.randrange(shards) for _ in operations]
+    for operation, shard in zip(operations, assignment):
+        _apply(serial, operation)
+        _apply(partials[shard], operation)
+    merged = MessageStats()
+    rng.shuffle(partials)  # merge order must not matter
+    for partial in partials:
+        merged.merge(partial)
+    _equal(merged, serial)
+    assert check_stats_conservation(merged) == []
+
+
+@settings(derandomize=True, deadline=None, max_examples=60)
+@given(st.lists(_operations, max_size=40), st.lists(_operations, max_size=40))
+def test_merge_equals_replaying_both_histories(ops_a, ops_b):
+    """merge(b) on a is exactly a ⊕ b — same counters as one accumulator
+    that saw both histories, regardless of interleaving (Counter addition
+    is commutative integer arithmetic)."""
+    a = MessageStats()
+    b = MessageStats()
+    both = MessageStats()
+    for operation in ops_a:
+        _apply(a, operation)
+        _apply(both, operation)
+    for operation in ops_b:
+        _apply(b, operation)
+        _apply(both, operation)
+    b_before = b.snapshot()
+    a.merge(b)
+    _equal(a, both)
+    # merging must not disturb the source partial
+    _equal(b, b_before)
+    assert check_stats_conservation(a) == []
+
+
+@settings(derandomize=True, deadline=None, max_examples=40)
+@given(st.lists(_operations, max_size=30))
+def test_merge_of_empty_is_identity(operations):
+    stats = MessageStats()
+    for operation in operations:
+        _apply(stats, operation)
+    before = stats.snapshot()
+    stats.merge(MessageStats())
+    _equal(stats, before)
+    empty = MessageStats()
+    empty.merge(stats)
+    _equal(empty, stats)
+
+
+def test_merge_preserves_o1_totals_against_rederived_sums():
+    stats = MessageStats()
+    stats.charge("join", "clustering", 4, hops=3)
+    other = MessageStats()
+    other.charge_batch("probe", "repair", 2, 5)
+    other.drop("query", "dead_relay")
+    stats.merge(other)
+    assert stats.total_packets == sum(stats.packets_by_kind.values()) == 8
+    assert stats.total_values == sum(stats.values_by_kind.values()) == 22
+    assert stats.total_drops == 1
+    assert check_stats_conservation(stats) == []
