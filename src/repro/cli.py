@@ -31,7 +31,7 @@ long-running supervised clustering service — streaming ingest,
 checkpoint/restore, chaos hooks and a query API (see docs/SERVING.md);
 ``query-bench`` replays seed-deterministic zipfian workloads through the
 cost-model query planner and records p50/p99 latency, queries/sec and
-messages/query in the BENCH schema-4 ``queries`` block (see
+messages/query in the BENCH schema-5 ``queries`` block (see
 docs/QUERYING.md).
 """
 

@@ -142,6 +142,14 @@ class ELinkConfig:
         Bounded-retry budget shared by the repair machinery: escalation
         rounds per stalled episode, and deadline extensions per quadtree
         round, before force-completing/forgiving.
+    vectorized:
+        Select the batched round processor (DESIGN.md §8.2).  ``True``
+        engages it whenever the scenario is eligible (jitter-free,
+        loss-free, untraced, fault-free implicit/explicit runs over 1-d
+        features); ``False`` forces the per-message handler path; ``None``
+        (default) engages it on the array engine only.  Ineligible
+        scenarios always fall back to the handler path — results are
+        certified identical either way.
     """
 
     delta: float
@@ -152,6 +160,7 @@ class ELinkConfig:
     ack_window: float = 2.5
     failure_detection: bool = False
     ack_retries: int = 3
+    vectorized: bool | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.delta, "delta")
@@ -956,6 +965,25 @@ def run_elink(
     start_stats = network.stats.snapshot()
     if injector is not None:
         injector.arm()
+
+    if config.vectorized is not False and injector is None:
+        # Batched round processor (DESIGN.md §8.2).  Declines — returning
+        # None with nothing consumed — whenever the scenario needs
+        # per-message handlers (jitter, loss, faults, tracing, unordered
+        # signalling, k-d features); certified identical when it engages.
+        from repro.core.elink_vec import try_run_vectorized
+
+        vec_result = try_run_vectorized(
+            topology,
+            features,
+            metric,
+            config,
+            quadtree=quadtree,
+            network=network,
+            start_stats=start_stats,
+        )
+        if vec_result is not None:
+            return vec_result
 
     # Subtree max levels for the phase1 expectation counts, filled deepest
     # level first so children are ready before their parents.

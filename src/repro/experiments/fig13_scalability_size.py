@@ -21,6 +21,7 @@ rounds.
 
 from __future__ import annotations
 
+import resource
 import time
 from typing import Any
 
@@ -47,7 +48,9 @@ SIZES_FULL = (100, 200, 400, 600, 800)
 SIZES_QUICK = (60, 120)
 
 #: Size ladder for the ``--max-n`` scale mode (trimmed/extended to max_n).
-SCALE_SIZES = (2500, 10_000, 40_000, 100_000)
+#: The 4·10⁵/10⁶ rungs need the vectorised round processor (REPRO_ENGINE=array
+#: engages it by default) to finish in reasonable wall time.
+SCALE_SIZES = (2500, 10_000, 40_000, 100_000, 400_000, 1_000_000)
 #: AR-fit readings for scale runs: the fit converges long before 2000 and
 #: the scale mode measures clustering cost, not estimator quality.
 SCALE_READINGS = 200
@@ -211,13 +214,19 @@ def run_scale_trial(spec: dict[str, Any]) -> dict[str, Any]:
         network=network,
     )
     clustered = time.perf_counter()
+    elink_wall = clustered - generated
+    # ru_maxrss is kilobytes on Linux; the high-water mark covers the whole
+    # trial (generation + clustering), which is what capacity planning needs.
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024
     return {
         "n": n,
         "engine": "sharded" if shards > 1 else default_engine(),
         "clusters": result.num_clusters,
         "messages": result.total_messages,
         "gen_wall_s": round(generated - start, 3),
-        "elink_wall_s": round(clustered - generated, 3),
+        "elink_wall_s": round(elink_wall, 3),
+        "msgs_per_s": round(result.total_messages / elink_wall) if elink_wall else None,
+        "peak_rss_mb": peak_rss_mb,
     }
 
 
@@ -225,8 +234,17 @@ def combine_scale_trials(results: list[dict[str, Any]]) -> ExperimentTable:
     """Assemble scale rows (spec order) into the printable table."""
     table = ExperimentTable(
         name="fig13_scale",
-        title="Fig 13 scale mode: ELink implicit clustering cost at 10⁴–10⁵+ nodes",
-        columns=("n", "engine", "clusters", "messages", "gen_wall_s", "elink_wall_s"),
+        title="Fig 13 scale mode: ELink implicit clustering cost at 10⁴–10⁶ nodes",
+        columns=(
+            "n",
+            "engine",
+            "clusters",
+            "messages",
+            "gen_wall_s",
+            "elink_wall_s",
+            "msgs_per_s",
+            "peak_rss_mb",
+        ),
     )
     for row in results:
         table.add_row(**row)

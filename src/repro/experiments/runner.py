@@ -169,13 +169,19 @@ def _noop() -> None:
 def _run_micro() -> dict:
     """Kernel + engine micro timings for the BENCH ``micro`` block.
 
-    Two entries: heap-vs-wheel post/fire wall time at 10³/10⁴/10⁵ pending
-    events (64 distinct timestamps — the repeated-timestamp regime), and
-    the object-vs-array broadcast-storm speedup at N=2500 on the jitter=0
-    fast path (the engine acceptance number).
+    Three entries: heap-vs-wheel post/fire wall time at 10³/10⁴/10⁵ pending
+    events (64 distinct timestamps — the repeated-timestamp regime), the
+    object-vs-array broadcast-storm speedup at N=2500 on the jitter=0
+    fast path (the engine acceptance number), and the arena-vs-object
+    message allocation bench (columnar rows + lazy materialization against
+    eager ``Message`` construction for the same broadcast blocks).  The
+    block also records throughput (messages/sec) and the process peak RSS.
     """
+    import resource
+
     from repro.geometry import random_geometric_topology
     from repro.sim import EventKernel, Network, TimerWheelKernel
+    from repro.sim.messages import Message, MessageArena
 
     kernels: dict[str, dict] = {}
     for pending in (1_000, 10_000, 100_000):
@@ -222,7 +228,46 @@ def _run_micro() -> dict:
     flood["speedup"] = (
         round(flood["object_s"] / flood["array_s"], 2) if flood["array_s"] else None
     )
-    return {"kernel_post_fire": kernels, "engine_flood_n2500": flood}
+    flood["msgs_per_s"] = (
+        round(flood["messages"] / flood["array_s"]) if flood["array_s"] else None
+    )
+
+    # Arena-vs-object allocation: the same 2000 × 32-destination broadcast
+    # blocks as eager Message objects and as arena rows.  append_s is the
+    # fast-path cost (vectorised rounds never materialize); arena_s adds a
+    # full materialize pass — the worst case, every row consumed by an
+    # object handler — so both regimes are tracked run over run.
+    blocks, fanout = 2_000, 32
+    dsts = list(range(fanout))
+    start = time.perf_counter()
+    for src in range(blocks):
+        Message.batch("feature", src, dsts, None, 1, "data")
+    object_s = time.perf_counter() - start
+    arena = MessageArena()
+    start = time.perf_counter()
+    kind = arena.kind_id("feature", "data")
+    for src in range(blocks):
+        arena.append_block(kind, src, dsts, arena.payload_ref(None), 1)
+    append_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for row in range(len(arena)):
+        arena.materialize(row)
+    materialize_s = time.perf_counter() - start
+    alloc = {
+        "rows": blocks * fanout,
+        "object_s": round(object_s, 4),
+        "append_s": round(append_s, 4),
+        "materialize_s": round(materialize_s, 4),
+        "arena_s": round(append_s + materialize_s, 4),
+        "speedup": round(object_s / append_s, 2) if append_s else None,
+    }
+
+    return {
+        "kernel_post_fire": kernels,
+        "engine_flood_n2500": flood,
+        "arena_alloc": alloc,
+        "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024,
+    }
 
 
 def _bench_payload(
@@ -238,7 +283,7 @@ def _bench_payload(
 
     serial_wall = sum(wall for _name, _table, wall, _elapsed in results)
     payload = {
-        "schema": 4,
+        "schema": 5,
         "profile": profile,
         "jobs": jobs,
         "engine": default_engine(),

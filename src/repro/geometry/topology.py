@@ -141,7 +141,9 @@ def grid_topology(rows: int, cols: int, *, spacing: float = 1.0) -> Topology:
     return Topology(graph, positions)
 
 
-@cached_artifact("2")
+# Code-version salt "3": 10⁶-node topologies from the vectorised quadtree/
+# scale work must not collide with cache entries written by older builds.
+@cached_artifact("3")
 def random_geometric_topology(
     n: int,
     *,

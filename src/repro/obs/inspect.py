@@ -44,7 +44,7 @@ import sys
 from collections import Counter
 from typing import Any, Iterable, Sequence
 
-from repro.obs.trace import TraceEvent, Tracer
+from repro.obs.trace import TraceEvent, iter_jsonl
 
 #: Payload keys that reference other nodes; used to pull an event into the
 #: timeline of every node it mentions, not just its subject.  ``stage``,
@@ -65,7 +65,34 @@ class TraceInspector:
     @classmethod
     def from_jsonl(cls, path: str) -> "TraceInspector":
         """Load the JSONL trace at *path*."""
-        return cls(Tracer.load_jsonl(path))
+        return cls(list(iter_jsonl(path)))
+
+    @classmethod
+    def stream_jsonl(
+        cls,
+        path: str,
+        *,
+        types: Iterable[str] | None = None,
+        prefix: str | None = None,
+        node: Any = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> "TraceInspector":
+        """Stream the trace at *path*, retaining only matching events.
+
+        Equivalent to ``from_jsonl(path).filtered(...)`` but the
+        non-matching events are decoded one line at a time and dropped
+        immediately — a filtered question against a multi-gigabyte trace
+        holds only its answer in memory, never the file.
+        """
+        type_set = set(types) if types is not None else None
+        return cls(
+            [
+                event
+                for event in iter_jsonl(path)
+                if _matches(event, type_set, prefix, node, since, until)
+            ]
+        )
 
     # -- basic shape ----------------------------------------------------
     def __len__(self) -> int:
@@ -102,20 +129,13 @@ class TraceInspector:
         so a node's view includes messages sent to it and repairs of it.
         """
         type_set = set(types) if types is not None else None
-        out = []
-        for event in self.events:
-            if type_set is not None and event.type not in type_set:
-                continue
-            if prefix is not None and not event.type.startswith(prefix):
-                continue
-            if node is not None and not _involves(event, node):
-                continue
-            if since is not None and event.time < since:
-                continue
-            if until is not None and event.time > until:
-                continue
-            out.append(event)
-        return TraceInspector(out)
+        return TraceInspector(
+            [
+                event
+                for event in self.events
+                if _matches(event, type_set, prefix, node, since, until)
+            ]
+        )
 
     def node_timeline(self, node: Any) -> list[TraceEvent]:
         """Every event involving *node* (subject or referenced), in time order."""
@@ -555,6 +575,28 @@ class TraceInspector:
         return "\n".join(lines)
 
 
+def _matches(
+    event: TraceEvent,
+    type_set: set[str] | None,
+    prefix: str | None,
+    node: Any,
+    since: float | None,
+    until: float | None,
+) -> bool:
+    """One event against the shared filter set (streaming and in-memory)."""
+    if type_set is not None and event.type not in type_set:
+        return False
+    if prefix is not None and not event.type.startswith(prefix):
+        return False
+    if node is not None and not _involves(event, node):
+        return False
+    if since is not None and event.time < since:
+        return False
+    if until is not None and event.time > until:
+        return False
+    return True
+
+
 def _involves(event: TraceEvent, node: Any) -> bool:
     """Whether *event* concerns *node* as subject or payload reference."""
     if event.node == node:
@@ -610,14 +652,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro trace``."""
     args = build_parser().parse_args(argv)
+    if args.limit < 1:
+        print("--limit must be >= 1", file=sys.stderr)
+        return 2
+    # One streaming pass with the filters applied per decoded line: only
+    # the events this invocation can actually print survive the read.  A
+    # --node-only query also filters by node at read time (the rollup
+    # sections aggregate across nodes, so node stays in-memory for them).
+    node_only = args.node is not None and not (
+        args.drops or args.repairs or args.serve or args.queries
+    )
     try:
-        inspector = TraceInspector.from_jsonl(args.path)
+        inspector = TraceInspector.stream_jsonl(
+            args.path,
+            types=args.type,
+            prefix=args.prefix,
+            node=_parse_node(args.node) if node_only else None,
+            since=args.since,
+            until=args.until,
+        )
     except OSError as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 1
-    inspector = inspector.filtered(
-        types=args.type, prefix=args.prefix, since=args.since, until=args.until
-    )
     try:
         printed = False
         if args.drops:

@@ -18,7 +18,7 @@ pool from :mod:`repro.perf.pool`; each worker memoizes the built scenario
 via :func:`repro.perf.memo.process_memo`, so it pays the
 cluster/index/planner build once, not per shard).  Both paths report
 **p50/p99 latency, queries/sec, and messages/query**, plus plan-choice
-and cache counters, into the BENCH schema-4 ``queries`` block written by
+and cache counters, into the BENCH schema-5 ``queries`` block written by
 :func:`run_bench` (merged into an existing ``BENCH_results.json`` when
 one is present).  A *warm* pass re-replays the workload against the
 now-populated result cache (hits must appear), then forces a maintenance
@@ -51,7 +51,7 @@ MIXES: dict[str, dict[str, float]] = {
 
 #: BENCH artifact schema this module emits (schema 3 + the ``queries``
 #: block; see docs/QUERYING.md for the block's layout).
-BENCH_SCHEMA = 4
+BENCH_SCHEMA = 5
 
 
 @dataclass(frozen=True)
@@ -440,7 +440,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro query-bench",
         description="replay seed-deterministic query workloads through the "
-        "cost-model planner and record the BENCH schema-4 queries block",
+        "cost-model planner and record the BENCH schema-5 queries block",
     )
     parser.add_argument("--n", type=int, default=60, help="scenario node count")
     parser.add_argument("--seed", type=int, default=42, help="scenario dataset seed")

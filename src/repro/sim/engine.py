@@ -62,7 +62,13 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from repro.sim.kernel import EventKernel, TimerWheelKernel
-from repro.sim.messages import _DEFAULT_CATEGORIES, CATEGORY_DATA, Message
+from repro.sim.messages import (
+    _DEFAULT_CATEGORIES,
+    CATEGORY_DATA,
+    ArenaSpan,
+    Message,
+    MessageArena,
+)
 from repro.sim.network import Network
 
 __all__ = ["ArrayNetwork"]
@@ -126,6 +132,13 @@ class ArrayNetwork(Network):
         #: ``_mutated`` stays a separate per-call check since faults flip
         #: it mid-run.
         self._bcast_ok = self._batch and self._tracer is None and self.energy is None
+        #: Index-based message rows for in-flight broadcasts; ``Message``
+        #: objects are materialized lazily at delivery (or for a tracer /
+        #: structured drop), never for rows a vectorised consumer drains as
+        #: arrays.  Reference-counted by open spans so the arena can be
+        #: recycled between delivery rounds.
+        self._arena = MessageArena(self._node_list)
+        self._arena_refs = 0
 
     def register(self, node_id, handler) -> None:
         """Register *handler* and cache its bound dispatch method."""
@@ -167,6 +180,11 @@ class ArrayNetwork(Network):
         self._removed_rows: set[Hashable] = set()
         self._adj = _CSRRows(self, tuple)
         self._adj_sets = _CSRRows(self, frozenset)
+        # A rebuild renumbers the CSR index space; pending arena rows (if
+        # any) keep materializing against the node list they were built on.
+        if getattr(self, "_arena", None) is not None:
+            self._arena = MessageArena(nodes)
+            self._arena_refs = 0
 
     def _csr_row(self, key) -> tuple:
         """Materialize *key*'s neighbour tuple from the CSR snapshot."""
@@ -225,12 +243,39 @@ class ArrayNetwork(Network):
             del self._cohorts[time]
         if self._tracer is not None:
             deliver = self._deliver
-            for message in batch:
-                deliver(message)
+            for item in batch:
+                if type(item) is ArenaSpan:
+                    arena = item.arena
+                    for row in range(item.start, item.stop):
+                        deliver(arena.materialize(row))
+                    self._span_drained(item)
+                else:
+                    deliver(item)
             return
         dispatch = self._dispatch
         dead = self.dead_nodes
-        for message in batch:
+        for item in batch:
+            if type(item) is ArenaSpan:
+                arena = item.arena
+                node_list = arena.node_list
+                dst_col = arena.dst_col
+                materialize = arena.materialize
+                for row in range(item.start, item.stop):
+                    dst = node_list[dst_col[row]]
+                    if dead and dst in dead:
+                        # Only a structured drop needs the object; live
+                        # recipients get theirs materialized one handler
+                        # call away, dead ones here for the drop record.
+                        self._drop(materialize(row), "dead_destination")
+                        continue
+                    try:
+                        handle = dispatch[dst]
+                    except KeyError:
+                        handle = self.handler(dst).handle_message  # canonical error
+                    handle(materialize(row))
+                self._span_drained(item)
+                continue
+            message = item
             # dead_nodes is re-checked per message: a handler running
             # earlier in this cohort may have crashed a later recipient,
             # and the object engine's per-event delivery would see that.
@@ -242,6 +287,14 @@ class ArrayNetwork(Network):
             except KeyError:
                 handle = self.handler(message.dst).handle_message  # canonical error
             handle(message)
+
+    def _span_drained(self, span: ArenaSpan) -> None:
+        """Release *span*'s arena reference; recycle the arena when idle."""
+        if span.arena is not self._arena:
+            return  # superseded by a CSR rebuild; freed with its last span
+        self._arena_refs -= 1
+        if self._arena_refs == 0:
+            self._arena.clear()
 
     def broadcast_values(
         self,
@@ -259,8 +312,12 @@ class ArrayNetwork(Network):
         """
         if self._mutated or not self._bcast_ok:
             return Network.broadcast_values(self, src, kind, payload, values, category)
-        neighbours = self._adj[src]
-        count = len(neighbours)
+        # Neighbour indices straight from the CSR snapshot (legal while
+        # unmutated): no node-id tuple is ever materialized on this path.
+        i = self._node_index[src]
+        indptr = self._indptr
+        start, end = indptr[i], indptr[i + 1]
+        count = int(end - start)
         if count == 0:
             return 0
         if values < 1:
@@ -277,17 +334,29 @@ class ArrayNetwork(Network):
         stats.values_by_category[category] += total
         stats._total_packets += count
         stats._total_values += total
+        arena = self._arena
+        span = ArenaSpan(
+            arena,
+            *arena.append_block(
+                arena.kind_id(kind, category),
+                i,
+                self._indices[start:end].tolist(),
+                arena.payload_ref(payload),
+                values,
+            ),
+        )
+        self._arena_refs += 1
         kernel = self.kernel
         time = kernel.now + self.hop_delay
         cohorts = self._cohorts
         entry = cohorts.get(time)
         if entry is not None and entry[1] == kernel.pushes:
-            # Open cohort: construct the copies straight into it.
-            Message.batch(kind, src, neighbours, payload, values, category, entry[0])
+            # Open cohort: the span rides along with any Message entries.
+            entry[0].append(span)
         else:
-            messages = Message.batch(kind, src, neighbours, payload, values, category)
-            kernel.post(self.hop_delay, self._deliver_cohort, time, messages)
-            cohorts[time] = (messages, kernel.pushes)
+            batch = [span]
+            kernel.post(self.hop_delay, self._deliver_cohort, time, batch)
+            cohorts[time] = (batch, kernel.pushes)
         return count
 
     def __repr__(self) -> str:

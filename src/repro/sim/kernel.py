@@ -147,6 +147,19 @@ class EventKernel:
             raise ValueError(f"cannot schedule in the past: {time} < now={self.now}")
         return self.schedule(time - self.now, callback, *args)
 
+    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget at absolute time ``time`` (>= now).
+
+        The absolute-time sibling of :meth:`post`: no :class:`Event` is
+        allocated and the entry cannot be cancelled.  Batch processors (the
+        vectorised ELink engine) use this to place whole event cohorts at
+        exact timestamps computed once, instead of round-tripping through
+        ``now + delay`` at every push.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < now={self.now}")
+        heapq.heappush(self._heap, (time, next(self._sequence), None, callback, args))
+
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Execute events in time order.
 
@@ -300,6 +313,13 @@ class TimerWheelKernel(EventKernel):
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
         self._push(self.now + delay, None, callback, args)
+
+    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget at absolute time ``time``; O(1) for repeated
+        timestamps (same bucket discipline as :meth:`post`)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < now={self.now}")
+        self._push(time, None, callback, args)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Execute events in time order; semantics match :class:`EventKernel`."""

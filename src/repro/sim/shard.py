@@ -36,15 +36,25 @@ Each epoch pops one window and classifies its entries:
   timers for everything ordered after it.
 - every other entry belongs to exactly one shard and is dispatched to
   that shard's worker.  A segment's entries are batched per shard and
-  executed in parallel; each worker returns, per entry, the buffered
-  trace events it emitted plus lightweight *effect descriptors* (new
-  messages, new timers, repair notices, completion callbacks).
+  executed in parallel; each worker returns one columnar *op block* per
+  batch — typed arrays of effect descriptors (new messages, new timers,
+  repair notices, completion callbacks) plus per-entry offsets and the
+  buffered trace events — instead of a Python tuple per effect, so a
+  million-effect epoch ships a handful of flat buffers across the pipe.
 
 The coordinator then walks the segment **in original serial order**,
 re-emitting each entry's trace events into the real tracer and replaying
 its descriptors into the calendar queue.  Because descriptors are pushed
 in walk order and calendar buckets are FIFO, the future order equals the
-serial kernel's ``(time, seq)`` order exactly.
+serial kernel's ``(time, seq)`` order exactly.  Long segments are cut
+into fixed-size chunks and *pipelined*: chunk ``c+1`` is submitted to the
+workers before chunk ``c`` is replayed, overlapping worker execution with
+the coordinator's replay.  This is sound because a segment's dispatch
+batches are a pure function of its (fixed) entry list — replay only
+pushes *future* events (the lookahead guard keeps them past the window
+end), records repairs and runs completion callbacks — and each shard's
+pool executes submissions FIFO, so worker state still advances in exact
+batch order.
 
 Message payloads avoid the coordinator where possible: an intra-shard
 message stays in its worker's outbox keyed by an integer reference (only
@@ -80,6 +90,7 @@ import copy
 import gc
 import heapq
 import multiprocessing
+from array import array
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
@@ -315,6 +326,16 @@ class _BufferTracer:
         self.events.append((time, type, node, data))
 
 
+#: Effect-descriptor codes — one byte per op in an op block's ``tags``
+#: column.  The delay/ref columns always advance with the op; the aux
+#: column advances only for codes that need an object payload.
+_OP_LOCAL_MSG = ord("m")  # intra-shard message: delay + outbox ref
+_OP_CROSS_MSG = ord("M")  # cross-shard message: delay + Message in aux
+_OP_TIMER = ord("t")  # worker-held timer: delay + timer ref
+_OP_REPAIR = ord("r")  # repair notice: (kind, dead, by) in aux
+_OP_DONE = ord("d")  # protocol completion: (node, args) in aux
+
+
 class _WorkerInjector:
     """Worker-side stand-in for the handler's ``_fault_injector``.
 
@@ -333,7 +354,7 @@ class _WorkerInjector:
     def note_repair(self, kind: str, dead: Hashable, by: Hashable) -> None:
         """Record a protocol-layer repair (mirrors ``FaultInjector``)."""
         worker = self._worker
-        worker.ops.append(("r", kind, dead, by))
+        worker.emit_op(_OP_REPAIR, aux=(kind, dead, by))
         if worker.buffer is not None:
             worker.buffer.emit(
                 worker.kernel.now, "repair.note", by, kind=kind, dead=dead
@@ -355,7 +376,7 @@ class _DoneRelay:
         self._node = node
 
     def __call__(self, *args: Any) -> None:
-        self._worker.ops.append(("d", self._node, args))
+        self._worker.emit_op(_OP_DONE, aux=(self._node, args))
 
 
 class _ShardLocalNetwork(Network):
@@ -402,9 +423,11 @@ class _ShardLocalNetwork(Network):
         """Emit a message descriptor instead of scheduling locally."""
         worker = self._worker
         if worker.plan.owner[message.dst] == worker.shard_id:
-            worker.ops.append(("m", delay, worker.stash_message(message)))
+            worker.emit_op(
+                _OP_LOCAL_MSG, delay=delay, ref=worker.stash_message(message)
+            )
         else:
-            worker.ops.append(("M", delay, message))
+            worker.emit_op(_OP_CROSS_MSG, delay=delay, aux=message)
 
     def schedule_owned(self, owner: Hashable, delay: float, callback, *args) -> Event:
         """Register an owned timer locally and emit a timer descriptor."""
@@ -417,7 +440,7 @@ class _ShardLocalNetwork(Network):
             self._owned_timers[owner] = [
                 ev for ev in bucket if not ev.fired and not ev.cancelled
             ]
-        worker.ops.append(("t", delay, owner, worker.stash_timer(event)))
+        worker.emit_op(_OP_TIMER, delay=delay, ref=worker.stash_timer(event))
         return event
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
@@ -448,7 +471,12 @@ class ShardWorker:
         self.plan = plan
         self.shard_id = shard_id
         self.buffer = _BufferTracer() if network._tracer is not None else None
-        self.ops: list[tuple] = []
+        # Columnar op accumulators for the batch currently executing —
+        # see the _OP_* codes and ShardWorker.execute for the layout.
+        self.op_tags = bytearray()
+        self.op_delays = array("d")
+        self.op_refs = array("q")
+        self.op_aux: list[Any] = []
         self._outbox: dict[int, Message] = {}
         self._timers: dict[int, Event] = {}
         self._next_ref = 0
@@ -481,6 +509,23 @@ class ShardWorker:
             self.local.register(node, clone)
             self._baselines[node] = _state_baseline(clone.__dict__)
 
+    # -- effect descriptors ---------------------------------------------
+    def emit_op(
+        self, code: int, *, delay: float = 0.0, ref: int = -1, aux: Any = None
+    ) -> None:
+        """Append one effect descriptor to the current op block.
+
+        Every op consumes a row of the tag/delay/ref columns; only ops
+        whose code carries an object payload (``M``/``r``/``d``) append
+        to the aux column, so the replay walk can advance a single aux
+        cursor per entry.
+        """
+        self.op_tags.append(code)
+        self.op_delays.append(delay)
+        self.op_refs.append(ref)
+        if aux is not None:
+            self.op_aux.append(aux)
+
     # -- descriptor references -----------------------------------------
     def stash_message(self, message: Message) -> int:
         """Hold an intra-shard message; the descriptor carries the ref."""
@@ -497,19 +542,32 @@ class ShardWorker:
         return ref
 
     # -- entry execution -------------------------------------------------
-    def execute(self, batch: list[tuple]) -> list[tuple[list, list]]:
+    def execute(self, batch: list[tuple]) -> tuple:
         """Execute a segment's dispatch items for this shard, in order.
 
-        Returns one ``(ops, trace_events)`` pair per item: the effect
-        descriptors the entry produced and the trace events it buffered
-        (empty when the coordinator is untraced).
+        Returns one columnar *op block* for the whole batch::
+
+            (op_offsets, aux_offsets, tags, delays, refs, aux, events)
+
+        ``tags``/``delays``/``refs`` hold one row per effect descriptor
+        (codes in ``_OP_*``); ``aux`` holds the object payloads for the
+        codes that need one; ``op_offsets``/``aux_offsets`` (length
+        ``len(batch) + 1``) delimit each item's slice of those columns so
+        the coordinator can replay any item without rescanning.
+        ``events`` is a per-item list of buffered trace events, or
+        ``None`` when the coordinator is untraced.
         """
-        results = []
         buffer = self.buffer
         kernel = self.kernel
         local = self.local
+        self.op_tags = bytearray()
+        self.op_delays = array("d")
+        self.op_refs = array("q")
+        self.op_aux = []
+        op_offsets = array("q", [0])
+        aux_offsets = array("q", [0])
+        events: list[list] | None = [] if buffer is not None else None
         for item in batch:
-            self.ops = []
             if buffer is not None:
                 buffer.events = []
             tag = item[0]
@@ -546,10 +604,19 @@ class ShardWorker:
                 local._deliver(self._outbox.pop(item[2]))
             else:  # "msg": cross-shard delivery by value
                 local._deliver(item[2])
-            results.append(
-                (self.ops, buffer.events if buffer is not None else [])
-            )
-        return results
+            op_offsets.append(len(self.op_tags))
+            aux_offsets.append(len(self.op_aux))
+            if events is not None:
+                events.append(buffer.events)
+        return (
+            op_offsets,
+            aux_offsets,
+            self.op_tags,
+            self.op_delays,
+            self.op_refs,
+            self.op_aux,
+            events,
+        )
 
     # -- control plane ---------------------------------------------------
     def control(self, record: tuple) -> Any:
@@ -618,12 +685,25 @@ class _InlineTransport:
             ShardWorker(network, plan, shard) for shard in range(plan.shards)
         ]
 
-    def execute(self, batches: dict[int, list]) -> dict[int, list]:
-        """Run each shard's batch; returns per-shard result lists."""
+    def execute_async(self, batches: dict[int, list]) -> dict[int, tuple]:
+        """Run each shard's batch eagerly; the "handle" is the result.
+
+        In-process workers have no concurrency to overlap with, so the
+        async surface degenerates to immediate execution — identical
+        semantics to fork mode's submit-then-wait, minus the pipe.
+        """
         return {
             shard: self.workers[shard].execute(batch)
             for shard, batch in sorted(batches.items())
         }
+
+    def wait(self, handle: dict[int, tuple]) -> dict[int, tuple]:
+        """Resolve an :meth:`execute_async` handle (already computed)."""
+        return handle
+
+    def execute(self, batches: dict[int, list]) -> dict[int, tuple]:
+        """Run each shard's batch; returns per-shard op blocks."""
+        return self.wait(self.execute_async(batches))
 
     def control_one(self, shard: int, record: tuple) -> Any:
         """Synchronous control call against one shard."""
@@ -665,8 +745,8 @@ def _fork_ready() -> bool:
     return _WORKER is not None
 
 
-def _fork_execute(batch: list[tuple]) -> list[tuple[list, list]]:
-    """Child-process task: execute a segment batch."""
+def _fork_execute(batch: list[tuple]) -> tuple:
+    """Child-process task: execute a segment batch, return its op block."""
     return _WORKER.execute(batch)
 
 
@@ -700,13 +780,25 @@ class _ForkTransport:
         finally:
             _BOOTSTRAP = None
 
-    def execute(self, batches: dict[int, list]) -> dict[int, list]:
-        """Run each shard's batch in parallel; gather in shard order."""
-        futures = {
+    def execute_async(self, batches: dict[int, list]) -> dict[int, Any]:
+        """Submit each shard's batch without blocking; returns futures.
+
+        Each pool is single-worker, so a shard's submissions execute in
+        FIFO order — the coordinator may submit chunk ``c+1`` before it
+        has consumed chunk ``c``'s results.
+        """
+        return {
             shard: self.pools[shard].submit(_fork_execute, batch)
             for shard, batch in sorted(batches.items())
         }
-        return {shard: future.result() for shard, future in futures.items()}
+
+    def wait(self, handle: dict[int, Any]) -> dict[int, tuple]:
+        """Gather an :meth:`execute_async` handle's results in shard order."""
+        return {shard: future.result() for shard, future in handle.items()}
+
+    def execute(self, batches: dict[int, list]) -> dict[int, tuple]:
+        """Run each shard's batch in parallel; gather in shard order."""
+        return self.wait(self.execute_async(batches))
 
     def control_one(self, shard: int, record: tuple) -> Any:
         """Synchronous control call against one shard."""
@@ -728,6 +820,12 @@ def _default_shard_mode() -> str:
     if "fork" in multiprocessing.get_all_start_methods():
         return "fork"
     return "inline"
+
+
+#: Entries per pipeline chunk: a fault-free segment longer than this is
+#: dispatched in chunks, each submitted to the workers before the
+#: previous chunk's results are replayed.
+_SEGMENT_CHUNK = 1024
 
 
 # ----------------------------------------------------------------------
@@ -1039,8 +1137,42 @@ class ShardedNetwork(Network):
     ) -> tuple[int, list[int]]:
         """Dispatch one fault-free segment and merge its effects back.
 
+        The segment is cut into :data:`_SEGMENT_CHUNK`-entry chunks, each
+        submitted to the workers *before* the previous chunk's results
+        are replayed — fork-mode workers execute one chunk ahead of the
+        serial replay walk.  Sound because dispatch batches depend only
+        on the (fixed) entry list, never on replay effects, which all
+        land beyond the window end.
+
         Returns ``(boundary_messages, per_shard_dispatch_counts)`` for
         the window's ``shard.*`` accounting.
+        """
+        boundary = 0
+        queues = [0] * self._plan.shards
+        prev: tuple[list, list, dict] | None = None
+        for start in range(0, len(entries), _SEGMENT_CHUNK):
+            chunk = entries[start : start + _SEGMENT_CHUNK]
+            batches, slots, crossed = self._build_batches(chunk)
+            boundary += crossed
+            for shard, batch in batches.items():
+                queues[shard] += len(batch)
+            handle = self._transport.execute_async(batches)
+            if prev is not None:
+                self._replay_chunk(*prev)
+            prev = (chunk, slots, handle)
+        if prev is not None:
+            self._replay_chunk(*prev)
+        return boundary, queues
+
+    def _build_batches(
+        self, entries: list[tuple[float, tuple]]
+    ) -> tuple[dict[int, list], list[tuple], int]:
+        """Classify a chunk's entries into per-shard dispatch batches.
+
+        Returns ``(batches, slots, boundary_count)`` where ``slots``
+        records, per entry, either its ``(shard, batch_index)`` dispatch
+        position or a ``("skip", ...)`` marker for cancelled
+        coordinator-held timers.
         """
         batches: dict[int, list] = {}
         slots: list[tuple] = []
@@ -1075,7 +1207,13 @@ class ShardedNetwork(Network):
                 items = batches.setdefault(shard, [])
                 items.append(("msg", time, message))
             slots.append((shard, len(items) - 1))
-        results = self._transport.execute(batches)
+        return batches, slots, boundary
+
+    def _replay_chunk(
+        self, entries: list[tuple[float, tuple]], slots: list[tuple], handle: dict
+    ) -> None:
+        """Walk one chunk's results in original serial order."""
+        results = self._transport.wait(handle)
         tracer = self._tracer
         cursor = 0
         for time, _record in entries:
@@ -1090,14 +1228,12 @@ class ShardedNetwork(Network):
             self._check_budget()
             self.kernel.now = time
             shard, index = slot
-            ops, events = results[shard][index]
-            if tracer is not None:
-                for ev_time, ev_type, ev_node, ev_data in events:
+            block = results[shard]
+            if tracer is not None and block[6] is not None:
+                for ev_time, ev_type, ev_node, ev_data in block[6][index]:
                     tracer.emit(ev_time, ev_type, ev_node, **ev_data)
-            for op in ops:
-                self._replay_op(shard, time, op)
+            self._replay_item(shard, time, block, index)
             self._events_done += 1
-        return boundary, [len(batches.get(s, ())) for s in range(self._plan.shards)]
 
     def _check_budget(self) -> None:
         if self._max_events is not None and self._events_done >= self._max_events:
@@ -1106,32 +1242,42 @@ class ShardedNetwork(Network):
                 "a protocol is probably not terminating"
             )
 
-    def _replay_op(self, shard: int, time: float, op: tuple) -> None:
-        """Replay one worker effect descriptor at its serial position."""
-        tag = op[0]
-        if tag == "m" or tag == "M":
-            land = time + op[1]
-            self._guard_lookahead(land, "message")
-            if tag == "m":
-                self._push(land, ("lmsg", shard, op[2]))
-            else:
-                self._push(land, ("xmsg", op[2]))
-        elif tag == "t":
-            _tag, delay, owner, ref = op
-            land = time + delay
-            self._guard_lookahead(land, "timer")
-            self._push(land, ("wtimer", shard, ref))
-        elif tag == "r":
-            _tag, kind, dead, by = op
-            injector = self._injector
-            if injector is None:
-                raise RuntimeError("repair descriptor replayed without an injector")
-            injector.repairs.append((time, kind, dead, by))
-            if dead not in injector.repair_times:
-                injector.repair_times[dead] = time
-        else:  # "d": protocol completion callback
-            _tag, node, args = op
-            self._done_callbacks[node](*args)
+    def _replay_item(
+        self, shard: int, time: float, block: tuple, index: int
+    ) -> None:
+        """Replay one entry's effect descriptors at its serial position."""
+        op_offsets, aux_offsets, tags, delays, refs, aux, _events = block
+        a = aux_offsets[index]
+        for k in range(op_offsets[index], op_offsets[index + 1]):
+            tag = tags[k]
+            if tag == _OP_LOCAL_MSG:
+                land = time + delays[k]
+                self._guard_lookahead(land, "message")
+                self._push(land, ("lmsg", shard, refs[k]))
+            elif tag == _OP_CROSS_MSG:
+                land = time + delays[k]
+                self._guard_lookahead(land, "message")
+                self._push(land, ("xmsg", aux[a]))
+                a += 1
+            elif tag == _OP_TIMER:
+                land = time + delays[k]
+                self._guard_lookahead(land, "timer")
+                self._push(land, ("wtimer", shard, refs[k]))
+            elif tag == _OP_REPAIR:
+                kind, dead, by = aux[a]
+                a += 1
+                injector = self._injector
+                if injector is None:
+                    raise RuntimeError(
+                        "repair descriptor replayed without an injector"
+                    )
+                injector.repairs.append((time, kind, dead, by))
+                if dead not in injector.repair_times:
+                    injector.repair_times[dead] = time
+            else:  # _OP_DONE: protocol completion callback
+                node, args = aux[a]
+                a += 1
+                self._done_callbacks[node](*args)
 
     def _guard_lookahead(self, land: float, what: str) -> None:
         if land < self._window_end:

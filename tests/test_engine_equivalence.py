@@ -6,9 +6,12 @@ including fault-injected runs, where cohort batching and CSR patching are
 under the most pressure.  These tests pin that contract.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+import repro.core.elink_vec as elink_vec
 from repro.core import ELinkConfig, run_elink
 from repro.features import EuclideanMetric
 from repro.geometry import Topology, grid_topology, random_geometric_topology
@@ -21,7 +24,7 @@ from repro.sim import (
     TimerWheelKernel,
     default_engine,
 )
-from repro.verify.harness import ScenarioSpec, run_scenario
+from repro.verify.harness import ScenarioSpec, build_scenario, run_scenario
 from repro.verify.replay import diff_traces, replay_check
 
 
@@ -169,6 +172,99 @@ def test_batched_broadcast_matches_reference_stats(small_grid):
     arr_net, arr_rec = nets["array"]
     assert obj_rec.seen == arr_rec.seen
     assert obj_net.stats.snapshot() == arr_net.stats.snapshot()
+
+
+# ----------------------------------------------------------------------
+# vectorised round processor vs per-message handlers (DESIGN.md §8.2)
+# ----------------------------------------------------------------------
+def _vec_summary(result):
+    return (
+        result.clustering.assignment,
+        result.clustering.parent,
+        result.stats.snapshot(),
+        result.completion_time,
+        result.protocol_time,
+        result.total_switches,
+        result.repaired_components,
+    )
+
+
+def _vec_run(topology, engine, signalling, vectorized):
+    network = Network(topology.graph.copy(), engine=engine)
+    return run_elink(
+        Topology(network.graph, dict(topology.positions)),
+        _features(topology),
+        EuclideanMetric(),
+        ELinkConfig(delta=0.6, signalling=signalling, vectorized=vectorized),
+        network=network,
+    )
+
+
+def _spy_vectorizer(monkeypatch):
+    """Wrap try_run_vectorized to record whether it engaged."""
+    engaged = []
+    real = elink_vec.try_run_vectorized
+
+    def spy(*args, **kwargs):
+        out = real(*args, **kwargs)
+        engaged.append(out is not None)
+        return out
+
+    monkeypatch.setattr(elink_vec, "try_run_vectorized", spy)
+    return engaged
+
+
+@pytest.mark.parametrize("topology_kind", ["grid", "geometric"])
+@pytest.mark.parametrize("signalling", ["implicit", "explicit"])
+@pytest.mark.parametrize("engine", ["object", "array"])
+def test_vectorized_rounds_identical_to_handlers(
+    topology_kind, signalling, engine, monkeypatch
+):
+    engaged = _spy_vectorizer(monkeypatch)
+    topology = _topology(topology_kind)
+    handler = _vec_run(topology, engine, signalling, vectorized=False)
+    batched = _vec_run(topology, engine, signalling, vectorized=True)
+    assert engaged == [True]  # the batch path really ran, not a fallback
+    assert _vec_summary(handler) == _vec_summary(batched)
+
+
+def test_chaos_falls_back_to_handler_path_identically(monkeypatch):
+    """With a fault injector armed, ``vectorized=True`` must decline —
+    without ever reaching the batch path — and match the handler run."""
+    engaged = _spy_vectorizer(monkeypatch)
+    summaries = []
+    for vectorized in (False, True):
+        spec = ScenarioSpec(crash_fraction=0.05, engine="array")
+        topology, features, metric, config, quadtree, network, injector = (
+            build_scenario(spec)
+        )
+        config = dataclasses.replace(config, vectorized=vectorized)
+        result = run_elink(
+            topology, features, metric, config,
+            quadtree=quadtree, network=network, injector=injector,
+        )
+        summaries.append(_vec_summary(result))
+    assert summaries[0] == summaries[1]
+    assert engaged == []  # injector-armed runs never call the vectorizer
+
+
+def test_traced_runs_stay_on_handler_path(monkeypatch):
+    """A tracer forces the per-message handlers (so traced streams stay
+    byte-identical across engines); the batch path must decline."""
+    engaged = _spy_vectorizer(monkeypatch)
+    topology = _topology("grid")
+    tracer = Tracer()
+    network = Network(topology.graph.copy(), engine="array")
+    run_elink(
+        Topology(network.graph, dict(topology.positions)),
+        _features(topology),
+        EuclideanMetric(),
+        ELinkConfig(delta=0.6, vectorized=True),
+        network=network,
+        tracer=tracer,
+    )
+    assert engaged == [False]
+    assert sum(1 for _ in tracer.events()) > 0
 
 
 def test_cohort_recheck_of_crashed_recipients(small_grid):

@@ -1,0 +1,95 @@
+"""Unit tests for the index-based message arena (DESIGN.md §8.2).
+
+The arena stores fast-path broadcast traffic as int rows and must
+materialize :class:`~repro.sim.messages.Message` objects field-identical
+to eager construction — these tests pin that contract plus the interning
+and lifecycle rules the array engine relies on.
+"""
+
+import pytest
+
+from repro.sim.messages import (
+    CATEGORY_CLUSTERING,
+    CATEGORY_DATA,
+    ArenaSpan,
+    Message,
+    MessageArena,
+)
+
+
+def test_kind_interning_is_stable_and_category_resolved_once():
+    arena = MessageArena()
+    kid = arena.kind_id("expand", CATEGORY_CLUSTERING)
+    assert arena.kind_id("expand") == kid  # second call: cached id
+    assert arena.kinds[kid] == "expand"
+    assert arena.categories[kid] == CATEGORY_CLUSTERING
+    other = arena.kind_id("custom-kind")
+    assert other != kid
+    assert arena.categories[other] == CATEGORY_DATA  # default category
+
+
+def test_append_block_rows_and_span_length():
+    arena = MessageArena()
+    kid = arena.kind_id("feature")
+    ref = arena.payload_ref({"temp": 21.5})
+    start, stop = arena.append_block(kid, 0, [1, 2, 3], ref, 2)
+    assert (start, stop) == (0, 3)
+    assert len(arena) == 3
+    span = ArenaSpan(arena, start, stop)
+    assert len(span) == 3
+    assert "0:3" in repr(span)
+
+
+def test_materialize_matches_eager_construction():
+    node_list = ["n0", "n1", "n2", "n3"]
+    arena = MessageArena(node_list)
+    kid = arena.kind_id("expand", CATEGORY_CLUSTERING)
+    payload = ("root", 0.25)
+    ref = arena.payload_ref(payload)
+    start, stop = arena.append_block(kid, 0, [1, 3], ref, 1)
+    eager = [
+        Message("expand", "n0", dst, payload, 1, CATEGORY_CLUSTERING)
+        for dst in ("n1", "n3")
+    ]
+    lazy = [arena.materialize(row) for row in range(start, stop)]
+    for got, want in zip(lazy, eager):
+        assert (got.kind, got.src, got.dst, got.values, got.category) == (
+            want.kind,
+            want.src,
+            want.dst,
+            want.values,
+            want.category,
+        )
+        assert got.payload is payload  # shared by reference, never copied
+
+
+def test_materialize_without_node_list_keeps_indices():
+    arena = MessageArena()
+    kid = arena.kind_id("feature")
+    start, _stop = arena.append_block(kid, 7, [9], arena.payload_ref(None), 1)
+    message = arena.materialize(start)
+    assert (message.src, message.dst) == (7, 9)
+
+
+def test_clear_drops_rows_but_keeps_interned_kinds():
+    arena = MessageArena()
+    kid = arena.kind_id("expand", CATEGORY_CLUSTERING)
+    arena.append_block(kid, 0, [1, 2], arena.payload_ref("p"), 1)
+    arena.clear()
+    assert len(arena) == 0
+    assert arena.payloads == []
+    assert arena.kind_id("expand") == kid  # interning survives clear()
+    # rows appended after a clear start from row 0 again
+    start, stop = arena.append_block(kid, 1, [0], arena.payload_ref("q"), 1)
+    assert (start, stop) == (0, 1)
+    assert arena.materialize(0).payload == "q"
+
+
+def test_blocks_share_one_payload_reference():
+    arena = MessageArena()
+    kid = arena.kind_id("feature")
+    payload = [1, 2, 3]
+    ref = arena.payload_ref(payload)
+    arena.append_block(kid, 0, list(range(1, 6)), ref, 1)
+    assert len(arena.payloads) == 1
+    assert all(arena.materialize(row).payload is payload for row in range(5))

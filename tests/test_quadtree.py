@@ -114,3 +114,80 @@ def test_coincident_points_hit_depth_cap_gracefully():
     decomposition = QuadTreeDecomposition(Topology(graph, positions))
     seen = [s for level in decomposition.sentinel_sets for s in level]
     assert sorted(seen) == [0, 1, 2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# columnar fast build vs reference build (byte-identical outputs)
+# ----------------------------------------------------------------------
+def _fingerprint(decomposition):
+    """Everything a consumer can observe, including dict insertion order."""
+    cells = []
+    for level, level_cells in enumerate(decomposition._cells_by_level):
+        for cell in level_cells:
+            bounds = cell.bounds
+            cells.append(
+                (
+                    level,
+                    (bounds.xmin, bounds.ymin, bounds.xmax, bounds.ymax),
+                    tuple(cell.members),
+                    cell.leader,
+                    len(cell.children),
+                )
+            )
+    return (
+        decomposition.sentinel_sets,
+        list(decomposition.level_of.items()),
+        list(decomposition.quad_parent.items()),
+        [(k, list(v)) for k, v in decomposition.quad_children.items()],
+        decomposition.root,
+        decomposition.depth,
+        cells,
+    )
+
+
+@pytest.mark.parametrize(
+    "topology",
+    [
+        grid_topology(6, 6),
+        grid_topology(17, 9),
+        random_geometric_topology(80, seed=11),
+        random_geometric_topology(300, seed=4),
+    ],
+    ids=["grid6", "grid17x9", "geom80", "geom300"],
+)
+def test_fast_build_identical_to_reference(topology):
+    reference = QuadTreeDecomposition(topology, fast=False)
+    fast = QuadTreeDecomposition(topology, fast=True)
+    assert _fingerprint(fast) == _fingerprint(reference)
+
+
+def test_fast_build_identical_at_depth_cap():
+    import networkx as nx
+
+    from repro.geometry.topology import Topology
+
+    # 40 co-located nodes drive subdivision to MAX_DEPTH and through the
+    # scalar flush branch of the fast build.
+    graph = nx.complete_graph(40)
+    positions = {i: (1.0, 1.0) for i in range(40)}
+    topology = Topology(graph, positions)
+    reference = QuadTreeDecomposition(topology, fast=False)
+    fast = QuadTreeDecomposition(topology, fast=True)
+    assert fast.depth == QuadTreeDecomposition.MAX_DEPTH
+    assert _fingerprint(fast) == _fingerprint(reference)
+
+
+def test_fast_build_declines_non_contiguous_ids():
+    import networkx as nx
+
+    from repro.geometry.topology import Topology
+
+    graph = nx.path_graph(4)
+    graph = nx.relabel_nodes(graph, {0: "a", 1: "b", 2: "c", 3: "d"})
+    positions = {v: (float(i), 0.0) for i, v in enumerate("abcd")}
+    topology = Topology(graph, positions)
+    decomposition = QuadTreeDecomposition(topology, fast=True)
+    assert not decomposition._fast_eligible()
+    assert decomposition._fast_levels == []  # reference build ran
+    seen = [s for level in decomposition.sentinel_sets for s in level]
+    assert sorted(seen) == ["a", "b", "c", "d"]

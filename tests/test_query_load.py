@@ -153,7 +153,7 @@ def test_validate_queries_block_rejects_stale_answers():
 # ----------------------------------------------------------------------
 
 
-def test_query_bench_cli_writes_schema_4_block(tmp_path):
+def test_query_bench_cli_writes_schema_5_block(tmp_path):
     out = tmp_path / "BENCH_results.json"
     rc = main(
         [
@@ -168,7 +168,7 @@ def test_query_bench_cli_writes_schema_4_block(tmp_path):
     )
     assert rc == 0
     payload = json.loads(out.read_text())
-    assert payload["schema"] == BENCH_SCHEMA == 4
+    assert payload["schema"] == BENCH_SCHEMA == 5
     validate_queries_block(payload["queries"])
     assert len(payload["queries"]["mixes"]) >= 3
     assert payload["queries"]["warm"]["stale_answers"] == 0
@@ -180,7 +180,7 @@ def test_query_bench_cli_merges_existing_bench(tmp_path):
     rc = main(["--quick", "--n", "30", "--queries", "12", "--bench-out", str(out)])
     assert rc == 0
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 4
+    assert payload["schema"] == 5
     assert payload["suite"] == {"keep": True}  # pre-existing blocks survive
     validate_queries_block(payload["queries"])
 

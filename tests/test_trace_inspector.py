@@ -177,6 +177,38 @@ def test_cli_trace_missing_file(capsys):
     assert "cannot read trace" in capsys.readouterr().err
 
 
+def test_cli_rejects_non_positive_limit(capsys):
+    assert trace_main([str(FIXTURE), "--limit", "0"]) == 2
+    assert "--limit must be >= 1" in capsys.readouterr().err
+    assert trace_main([str(FIXTURE), "--limit", "-3"]) == 2
+
+
+def test_cli_limit_caps_timeline_lines(capsys):
+    assert trace_main([str(FIXTURE), "--node", "38", "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    body = [line for line in out.splitlines() if line.startswith("  ")]
+    assert len(body) <= 3  # 2 events + the "... N more" marker
+    assert any("more (raise --limit)" in line for line in out.splitlines())
+
+
+def test_stream_jsonl_matches_eager_load_with_filters():
+    eager = TraceInspector.from_jsonl(FIXTURE).filtered(prefix="msg.", until=40.0)
+    streamed = TraceInspector.stream_jsonl(FIXTURE, prefix="msg.", until=40.0)
+    assert [
+        (e.time, e.type, e.node, e.data) for e in eager.events
+    ] == [(e.time, e.type, e.node, e.data) for e in streamed.events]
+    assert len(streamed) == len(eager)
+
+
+def test_stream_jsonl_node_filter_matches_node_timeline():
+    eager = TraceInspector.from_jsonl(FIXTURE)
+    node = eager.nodes()[0]
+    streamed = TraceInspector.stream_jsonl(FIXTURE, node=node)
+    assert [e.type for e in streamed.events] == [
+        e.type for e in eager.node_timeline(node)
+    ]
+
+
 def test_cli_node_timeline_and_filters(capsys):
     assert trace_main([str(FIXTURE), "--node", "38", "--limit", "5"]) == 0
     out = capsys.readouterr().out
